@@ -1,0 +1,59 @@
+"""Benchmark: baselines and the extension ablations.
+
+Regenerates the Section 4 comparison (500K-cycle budget of [5]/[6]) plus
+the ablation tables that DESIGN.md section 6 calls out.
+"""
+
+from repro.experiments import ablations
+
+from conftest import save_result
+
+
+def test_baseline_comparison(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablations.baseline_comparison("s208"), rounds=1, iterations=1
+    )
+    save_result(
+        "baselines_s208", "\n".join(r.summary() for r in results)
+    )
+    by_name = {r.name: r for r in results}
+    proposed = by_name["random limited-scan (proposed)"]
+    ts0 = by_name["TS0-only"]
+    # The proposed scheme dominates TS0-only on coverage.
+    assert proposed.detected >= ts0.detected
+    assert proposed.coverage == 1.0
+
+
+def test_observation_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.observation_ablation("s208"), rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_observation",
+        ablations.render_rows(rows, "Observation-policy ablation (s208)"),
+    )
+    full = rows[0].detected
+    for row in rows[1:]:
+        assert row.detected <= full
+
+
+def test_full_scan_insertion_cost(benchmark):
+    limited, widened = benchmark.pedantic(
+        lambda: ablations.full_scan_cost("s208"), rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_full_scan_cost",
+        limited.summary() + "\n" + widened.summary(),
+    )
+    # Complete scans at the same time units cost strictly more cycles.
+    assert widened.cycles > limited.cycles
+
+
+def test_partial_scan(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.partial_scan_experiment("s208", 0.5),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("partial_scan_s208", result.summary())
+    assert result.det_total >= result.ts0_detected

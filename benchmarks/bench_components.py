@@ -1,0 +1,93 @@
+"""Microbenchmarks of the library's performance-critical components."""
+
+import numpy as np
+
+from repro.bench_circuits import load_circuit
+from repro.circuit.library import ALL_ONES
+from repro.core.config import BistConfig
+from repro.core.limited_scan import build_limited_scan_test_set
+from repro.core.test_set import generate_ts0
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+from repro.faults.model import FaultGraph, generate_faults
+from repro.faults.ppsfp import CombinationalFaultSimulator, pack_patterns
+from repro.rpg.lfsr import Lfsr
+from repro.simulation.compiled import CompiledModel
+
+
+def test_compiled_eval_throughput(benchmark):
+    """One combinational pass of the s953-shaped circuit, 64 words."""
+    circuit = load_circuit("s953")
+    model = CompiledModel(circuit)
+    vals = model.alloc(64)
+    rng = np.random.Generator(np.random.PCG64(1))
+    vals[model.pi_idx, :] = rng.integers(
+        0, 2**63, size=(len(model.pi_idx), 64), dtype=np.uint64
+    )
+    benchmark(model.eval, vals)
+
+
+def test_fault_graph_build(benchmark):
+    circuit = load_circuit("s953")
+    benchmark(FaultGraph, circuit)
+
+
+def test_fault_collapse(benchmark):
+    circuit = load_circuit("s953")
+    benchmark(collapse_faults, circuit)
+
+
+def test_grouped_fault_sim_ts0(benchmark):
+    """Fault-simulate a whole TS0 against the collapsed fault list."""
+    circuit = load_circuit("s298")
+    sim = FaultSimulator(circuit)
+    faults = collapse_faults(circuit)
+    cfg = BistConfig(la=8, lb=16, n=64)
+    ts0 = generate_ts0(circuit, cfg)
+    benchmark.pedantic(
+        lambda: sim.simulate_grouped(ts0, faults), rounds=2, iterations=1
+    )
+
+
+def test_grouped_fault_sim_with_schedules(benchmark):
+    circuit = load_circuit("s298")
+    sim = FaultSimulator(circuit)
+    faults = collapse_faults(circuit)
+    cfg = BistConfig(la=8, lb=16, n=64)
+    ts0 = generate_ts0(circuit, cfg)
+    ts = build_limited_scan_test_set(ts0, 1, 1, cfg, circuit.num_state_vars)
+    benchmark.pedantic(
+        lambda: sim.simulate_grouped(ts, faults), rounds=2, iterations=1
+    )
+
+
+def test_ppsfp_throughput(benchmark):
+    circuit = load_circuit("s298")
+    graph = FaultGraph(circuit)
+    comb = CombinationalFaultSimulator(graph)
+    faults = collapse_faults(circuit)
+    rng = np.random.Generator(np.random.PCG64(3))
+    patterns = rng.integers(0, 2, size=(256, comb.num_inputs), dtype=np.uint8)
+    words = pack_patterns(patterns)
+    benchmark.pedantic(
+        lambda: comb.detected(words, faults), rounds=2, iterations=1
+    )
+
+
+def test_lfsr_bit_rate(benchmark):
+    lfsr = Lfsr(32, seed=0xDEADBEEF)
+    benchmark(lfsr.bits, 10_000)
+
+
+def test_podem_s27_full_fault_list(benchmark):
+    from repro.atpg.podem import Podem
+
+    graph = FaultGraph(load_circuit("s27"))
+    faults = collapse_faults(graph.circuit)
+
+    def run_all():
+        podem = Podem(graph)
+        return [podem.run(f).status for f in faults]
+
+    statuses = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    assert len(statuses) == 32

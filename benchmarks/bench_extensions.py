@@ -1,0 +1,61 @@
+"""Benchmarks of the extension subsystems."""
+
+from repro.bench_circuits import load_circuit
+from repro.core.config import BistConfig
+from repro.core.test_set import generate_ts0
+from repro.faults.collapse import collapse_faults
+from repro.faults.dictionary import build_dictionary
+from repro.faults.transition import (
+    TransitionFaultSimulator,
+    generate_transition_faults,
+)
+from repro.atpg.scoap import compute_scoap
+from repro.rpg.misr import Misr
+
+from conftest import save_result
+
+
+def test_transition_fault_sim(benchmark):
+    circuit = load_circuit("s298")
+    sim = TransitionFaultSimulator(circuit)
+    faults = generate_transition_faults(circuit)
+    cfg = BistConfig(la=8, lb=16, n=16)
+    tests = generate_ts0(circuit, cfg)
+    detected = benchmark.pedantic(
+        lambda: sim.simulate(tests, faults), rounds=2, iterations=1
+    )
+    save_result(
+        "transition_s298",
+        f"s298: {len(detected)}/{len(faults)} transition faults detected "
+        f"by TS0 (LA=8, LB=16, N=16)",
+    )
+    assert detected  # multi-vector tests must catch transition faults
+
+
+def test_scoap_analysis(benchmark):
+    circuit = load_circuit("s953")
+    result = benchmark(compute_scoap, circuit)
+    assert all(v >= 1 for v in result.cc0.values())
+
+
+def test_misr_throughput(benchmark):
+    stream = list(range(10_000))
+
+    def run():
+        return Misr(32, seed=1).compact([w & 0xFFFFFFFF for w in stream])
+
+    sig = benchmark(run)
+    assert sig == run()  # deterministic
+
+
+def test_dictionary_build(benchmark):
+    circuit = load_circuit("s27")
+    faults = collapse_faults(circuit)
+    cfg = BistConfig(la=4, lb=8, n=4)
+    tests = generate_ts0(circuit, cfg)
+    dictionary = benchmark.pedantic(
+        lambda: build_dictionary(circuit, tests, faults),
+        rounds=2,
+        iterations=1,
+    )
+    assert dictionary.num_tests == len(tests)

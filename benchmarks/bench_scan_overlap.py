@@ -1,0 +1,19 @@
+"""Benchmark: the refs [7]-[11] scan-overlap TAT reduction flow."""
+
+from repro.bench_circuits import load_circuit
+from repro.core.scan_overlap import overlap_experiment
+
+from conftest import save_result
+
+
+def test_tat_reduction_flow(benchmark):
+    circuit = load_circuit("s208")
+    out = benchmark.pedantic(
+        lambda: overlap_experiment(circuit, repair=True),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("tat_reduction_s208", out.summary())
+    # Coverage preserved; TAT never worse than the conventional cost.
+    assert out.optimized_detected == out.baseline_detected
+    assert out.plan.optimized_cycles() <= out.plan.full_scan_cycles()

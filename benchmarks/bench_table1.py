@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Tables 1 and 2 (the s27 worked example)."""
+
+from repro.experiments import table1
+
+from conftest import save_result
+
+
+def test_table1_and_2(benchmark):
+    result = benchmark(table1.run)
+    save_result("table1", result.render())
+    # The paper's phenomenon must hold every run.
+    assert result.fault is not None
+    assert result.plain_trace.outputs == result.plain_trace_faulty.outputs
+    assert (
+        result.ls_trace.outputs != result.ls_trace_faulty.outputs
+        or result.ls_trace.scanout != result.ls_trace_faulty.scanout
+        or result.ls_trace.states[-1] != result.ls_trace_faulty.states[-1]
+    )

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 3 (s208 Ncyc / Ncyc0 grid).
+
+The benchmarked body runs a reduced grid (the paper-scale grid is run by
+``python -m repro.experiments.table3 --full`` and recorded in
+EXPERIMENTS.md).  The exactness of Ncyc0 against the paper's numbers is
+asserted on the full formula regardless of grid size.
+"""
+
+from repro.core.cost import ncyc0
+from repro.experiments import table3
+from repro.experiments.grid import run_grid
+
+from conftest import save_result
+
+
+def test_table3_grid(benchmark, s208_bist):
+    result = benchmark.pedantic(
+        lambda: run_grid(
+            s208_bist, la_values=(8, 16), lb_values=(16, 32, 64), n_values=(64,)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table3", result.render())
+    # Ncyc0 agrees with the paper exactly (digit-for-digit).
+    for (la, lb, n), expected in table3.PAPER_NCYC0_SAMPLES.items():
+        assert ncyc0(8, la, lb, n) == expected
+    # Shape: every complete cell costs at least its Ncyc0.
+    for key, cycles in result.complete_cells().items():
+        assert cycles >= result.ncyc0[key]

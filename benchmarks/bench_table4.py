@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 4 (s420 grid; dash cells are data)."""
+
+from repro.core.cost import ncyc0
+from repro.experiments import table4
+from repro.experiments.grid import run_grid
+
+from conftest import save_result
+
+
+def test_table4_grid(benchmark, s420_bist):
+    result = benchmark.pedantic(
+        lambda: run_grid(
+            s420_bist, la_values=(8, 16), lb_values=(16, 32), n_values=(64,)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table4", result.render())
+    for (la, lb, n), expected in table4.PAPER_NCYC0_SAMPLES.items():
+        assert ncyc0(16, la, lb, n) == expected

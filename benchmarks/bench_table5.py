@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 5 (exact reproduction)."""
+
+from repro.experiments import table5
+
+from conftest import save_result
+
+
+def test_table5(benchmark):
+    result = benchmark(table5.run)
+    save_result("table5", result.render())
+    assert result.matches_paper()

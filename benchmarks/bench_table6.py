@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 6 rows (first complete combination).
+
+A three-circuit subset keeps the benchmark run short; the full circuit
+list is produced by ``python -m repro.experiments.table6`` and recorded
+in EXPERIMENTS.md.
+"""
+
+from repro.experiments import table6
+
+from conftest import save_result
+
+CIRCUITS = ("s27", "s208", "b01")
+
+
+def test_table6_rows(benchmark):
+    result = benchmark.pedantic(
+        lambda: table6.run(circuits=CIRCUITS, max_combos=6),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table6_subset", result.render())
+    assert result.all_complete()
+    for name, rep in result.reports.items():
+        r = rep.result
+        # Coverage is complete and the accounting is self-consistent.
+        assert r.det_total == r.num_targets
+        assert r.ncyc_total >= r.ncyc0

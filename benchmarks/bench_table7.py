@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 7 rows (D1 = 10..1).
+
+Checks the paper's headline observation: decreasing-D1 preference yields
+a lower average number of limited-scan time units (``ls``) than Table 6.
+"""
+
+from repro.experiments import table7
+
+from conftest import save_result
+
+CIRCUITS = ("s208", "b01")
+
+
+def test_table7_rows(benchmark):
+    result = benchmark.pedantic(
+        lambda: table7.run(circuits=CIRCUITS, max_combos=6),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table7_subset", result.render())
+    for name, run in result.runs.items():
+        t6 = result.table6_runs[name]
+        if run.pairs and t6.pairs:
+            assert run.ls_average <= t6.ls_average + 1e-9

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 8 rows (storage vs. time trade-off)."""
+
+from repro.experiments import table8
+
+from conftest import save_result
+
+
+def test_table8_rows(benchmark):
+    result = benchmark.pedantic(
+        lambda: table8.run(circuits=("s208",), combos_per_circuit=3, stride=4),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table8_subset", result.render())
+    apps = result.app_counts("s208")
+    assert apps, "first complete combination must exist for s208"
+    # The paper's trend: larger combinations need no more pairs than the
+    # first (cheapest) complete one.
+    assert min(apps) <= apps[0]

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_table*.py`` regenerates one table of the paper (at reduced
+scale where the paper-scale run takes minutes; see EXPERIMENTS.md for
+recorded full-scale outputs) and saves the rendered table next to the
+benchmark results under ``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import bist_for
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def s208_bist():
+    return bist_for("s208")
+
+
+@pytest.fixture(scope="session")
+def s420_bist():
+    return bist_for("s420")

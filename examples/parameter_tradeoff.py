@@ -1,0 +1,38 @@
+"""Exploring the (L_A, L_B, N) trade-off (the paper's Tables 3-5).
+
+Shows: (1) the exact closed-form ordering of parameter combinations by
+the cost of the initial test set (Table 5 -- reproduced digit for digit);
+(2) a Procedure 2 grid for one circuit where larger combinations need
+fewer stored (I, D1) pairs but more clock cycles (Tables 3 and 8).
+
+Run:  python examples/parameter_tradeoff.py [circuit-name]
+"""
+
+import sys
+
+from repro import load_circuit
+from repro.core.parameter_selection import first_combinations
+from repro.core.session import LimitedScanBist
+from repro.experiments.grid import run_grid
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s208"
+    circuit = load_circuit(name)
+    n_sv = circuit.num_state_vars
+
+    print(f"First 10 combinations by Ncyc0 for N_SV = {n_sv}:")
+    for combo in first_combinations(n_sv, 10):
+        print(f"  LA={combo.la:<4} LB={combo.lb:<4} N={combo.n:<4} "
+              f"Ncyc0={combo.ncyc0}")
+
+    print(f"\nProcedure 2 grid for {name} (dash = 100% not reached):")
+    bist = LimitedScanBist(circuit)
+    grid = run_grid(
+        bist, la_values=(8, 16), lb_values=(16, 32, 64), n_values=(64,)
+    )
+    print(grid.render())
+
+
+if __name__ == "__main__":
+    main()

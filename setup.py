@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the ``wheel`` package needed
+for PEP 660 editable wheels (pip falls back to the legacy develop install
+via this file with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

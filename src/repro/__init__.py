@@ -1,0 +1,59 @@
+"""Random limited-scan BIST for full-scan circuits.
+
+A reproduction of I. Pomeranz, "Random Limited-Scan to Improve Random
+Pattern Testing of Scan Circuits", DAC 2001.
+
+Quick start::
+
+    from repro import LimitedScanBist, load_circuit
+
+    bist = LimitedScanBist(load_circuit("s208"))
+    report = bist.first_complete()
+    print(report.row())
+
+Subpackages:
+
+- :mod:`repro.circuit` -- gate-level netlists, ``.bench`` I/O, transforms
+- :mod:`repro.simulation` -- bit-parallel logic simulation, scan model
+- :mod:`repro.faults` -- stuck-at faults, collapsing, fault simulation
+- :mod:`repro.atpg` -- PODEM and detectability classification
+- :mod:`repro.rpg` -- LFSRs and reproducible random sources
+- :mod:`repro.bench_circuits` -- s27 + synthetic benchmark stand-ins
+- :mod:`repro.core` -- the paper's procedures, cost model and baselines
+- :mod:`repro.experiments` -- drivers regenerating each paper table
+"""
+
+from repro.bench_circuits import available_circuits, load_circuit
+from repro.circuit import Circuit, parse_bench, write_bench
+from repro.core import (
+    BistConfig,
+    LimitedScanBist,
+    Procedure2Result,
+    enumerate_combinations,
+    generate_ts0,
+    ncyc0,
+)
+from repro.faults import FaultSimulator, ScanTest, collapse_faults, generate_faults
+from repro.atpg import classify_faults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "parse_bench",
+    "write_bench",
+    "load_circuit",
+    "available_circuits",
+    "BistConfig",
+    "LimitedScanBist",
+    "Procedure2Result",
+    "generate_ts0",
+    "enumerate_combinations",
+    "ncyc0",
+    "FaultSimulator",
+    "ScanTest",
+    "generate_faults",
+    "collapse_faults",
+    "classify_faults",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Combinational ATPG (PODEM) and fault detectability classification.
+
+With full scan, a stuck-at fault is detectable if and only if it is
+detectable in the combinational expansion of the circuit (primary inputs
+and flop outputs controllable, primary outputs and flop D nets
+observable).  Procedure 2's "100% fault coverage" target therefore means
+*all faults PODEM proves detectable*; the remainder are redundant.
+
+- :mod:`repro.atpg.podem` -- the PODEM test generator,
+- :mod:`repro.atpg.classify` -- random-phase + PODEM classification
+  pipeline producing the detectable/undetectable/aborted partition.
+"""
+
+from repro.atpg.podem import Podem, PodemResult, PodemStatus
+from repro.atpg.classify import Classification, classify_faults
+
+__all__ = [
+    "Podem",
+    "PodemResult",
+    "PodemStatus",
+    "Classification",
+    "classify_faults",
+]

@@ -1,0 +1,178 @@
+"""SCOAP testability measures (Goldstein's controllability/observability).
+
+Classic topological testability analysis over the full-scan combinational
+expansion:
+
+- ``CC0(n)`` / ``CC1(n)``: cost of setting net ``n`` to 0 / 1 from the
+  controllable inputs (primary inputs and flop outputs are cost 1),
+- ``CO(n)``: cost of observing ``n`` at an observation point (primary
+  outputs and flop D nets are cost 0).
+
+Uses: PODEM's backtrace picks the cheapest input (fewer backtracks), the
+synthetic-benchmark profiler reports how random-pattern-resistant a
+circuit is, and experiments can rank faults by expected detection
+difficulty (``CC{v'}(site) + CO(site)`` for a stuck-at-v fault).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.levelize import levelize
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault, FaultGraph
+
+#: Cost representing "not achievable" (kept finite to avoid overflow).
+INFINITY = 10**9
+
+
+@dataclass
+class ScoapResult:
+    """Testability measures per net of the analyzed circuit."""
+
+    cc0: Dict[str, int]
+    cc1: Dict[str, int]
+    co: Dict[str, int]
+
+    def controllability(self, net: str, value: int) -> int:
+        return self.cc1[net] if value else self.cc0[net]
+
+    def fault_difficulty(self, fault: Fault) -> int:
+        """SCOAP detection-difficulty estimate for a stuck-at fault:
+        cost of driving the site to the opposite value + observing it."""
+        activation = self.controllability(fault.site, 1 - fault.value)
+        return activation + self.co[fault.site]
+
+    def hardest_faults(self, faults: List[Fault], k: int = 10) -> List[Fault]:
+        return sorted(
+            faults, key=lambda f: -min(self.fault_difficulty(f), INFINITY)
+        )[:k]
+
+
+def _combine(
+    gtype: GateType, in0: Tuple[int, int], in1: Optional[Tuple[int, int]]
+) -> Tuple[int, int]:
+    """(cc0, cc1) of a 1- or 2-input gate from its inputs' (cc0, cc1)."""
+    base = gtype.base
+    if base is GateType.CONST0:
+        out = (0, INFINITY)
+    elif base is GateType.CONST1:
+        out = (INFINITY, 0)
+    elif base is GateType.BUF:
+        out = (in0[0] + 1, in0[1] + 1)
+    elif base is GateType.AND:
+        # 0: cheapest single 0; 1: all inputs 1.
+        out = (
+            min(in0[0], in1[0]) + 1,
+            min(in0[1] + in1[1] + 1, INFINITY),
+        )
+    elif base is GateType.OR:
+        out = (
+            min(in0[0] + in1[0] + 1, INFINITY),
+            min(in0[1], in1[1]) + 1,
+        )
+    else:  # XOR
+        out = (
+            min(in0[0] + in1[0], in0[1] + in1[1]) + 1,
+            min(in0[0] + in1[1], in0[1] + in1[0]) + 1,
+        )
+    if gtype.is_inverting:
+        out = (out[1], out[0])
+    return (min(out[0], INFINITY), min(out[1], INFINITY))
+
+
+def compute_scoap(circuit: Circuit) -> ScoapResult:
+    """SCOAP over the full-scan combinational expansion of ``circuit``.
+
+    Gates with more than two inputs are handled by folding inputs left to
+    right (equivalent to analysing the two-input decomposition).
+    """
+    lev = levelize(circuit)
+    cc0: Dict[str, int] = {}
+    cc1: Dict[str, int] = {}
+    for net in circuit.inputs + circuit.state_vars:
+        cc0[net] = 1
+        cc1[net] = 1
+
+    for gate in lev.order:
+        ins = [(cc0[s], cc1[s]) for s in gate.inputs]
+        if not ins:
+            pair = _combine(gate.gtype, (0, 0), None)
+        elif len(ins) == 1:
+            pair = _combine(gate.gtype, ins[0], None)
+        else:
+            base = gate.gtype.base
+            acc = ins[0]
+            for nxt in ins[1:-1]:
+                # Fold with the non-inverting base; invert only at the end.
+                folder = {
+                    GateType.AND: GateType.AND,
+                    GateType.OR: GateType.OR,
+                    GateType.XOR: GateType.XOR,
+                    GateType.BUF: GateType.BUF,
+                    GateType.CONST0: GateType.CONST0,
+                    GateType.CONST1: GateType.CONST1,
+                }[base]
+                acc = _combine(folder, acc, nxt)
+            pair = _combine(gate.gtype, acc, ins[-1])
+        cc0[gate.output], cc1[gate.output] = pair
+
+    # Observability: backward pass in reverse level order.
+    co: Dict[str, int] = {net: INFINITY for net in circuit.signals()}
+    for net in circuit.outputs:
+        co[net] = 0
+    for flop in circuit.flops:
+        co[flop.d] = min(co[flop.d], 0)  # scanned out -> observable
+
+    for gate in reversed(lev.order):
+        out_co = co[gate.output]
+        if out_co >= INFINITY:
+            continue
+        base = gate.gtype.base
+        for i, src in enumerate(gate.inputs):
+            if base is GateType.AND:
+                others = sum(cc1[s] for j, s in enumerate(gate.inputs) if j != i)
+            elif base is GateType.OR:
+                others = sum(cc0[s] for j, s in enumerate(gate.inputs) if j != i)
+            elif base is GateType.XOR:
+                others = sum(
+                    min(cc0[s], cc1[s])
+                    for j, s in enumerate(gate.inputs)
+                    if j != i
+                )
+            else:  # BUF/NOT/CONST
+                others = 0
+            cost = min(out_co + others + 1, INFINITY)
+            if cost < co[src]:
+                co[src] = cost
+
+    return ScoapResult(cc0=cc0, cc1=cc1, co=co)
+
+
+def testability_profile(circuit: Circuit, percentiles=(50, 90, 99)) -> Dict[str, float]:
+    """Summary statistics of SCOAP difficulty over the collapsed faults.
+
+    Used to compare synthetic stand-ins against expectations: a healthy
+    benchmark has a long difficulty tail (random-pattern-resistant
+    faults) but few unreachable nets.
+    """
+    import numpy as np
+
+    from repro.faults.collapse import collapse_faults
+
+    scoap = compute_scoap(circuit)
+    difficulties = [
+        min(scoap.fault_difficulty(f), INFINITY)
+        for f in collapse_faults(circuit)
+    ]
+    arr = np.asarray(difficulties, dtype=float)
+    reachable = arr[arr < INFINITY]
+    profile = {
+        "num_faults": float(len(arr)),
+        "unreachable_fraction": float((arr >= INFINITY).mean()),
+    }
+    for p in percentiles:
+        profile[f"p{p}"] = float(np.percentile(reachable, p)) if len(reachable) else 0.0
+    return profile

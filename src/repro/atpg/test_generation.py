@@ -1,0 +1,139 @@
+"""Deterministic test generation (ATPG flow).
+
+Produces a compact deterministic full-scan test set: random phase, then
+PODEM for the random-resistant faults, each new test fault-simulated
+against the remaining targets, and finally reverse-order compaction.
+This is the "deterministic test set ... of primary input sequences of
+length one" world of the paper's references [7]-[11], used by
+:mod:`repro.core.scan_overlap` to reproduce their limited-scan
+test-application-time reduction -- the technique the paper repurposes
+for fault coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.circuit.netlist import Circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator, ScanTest
+from repro.faults.model import Fault, FaultGraph
+from repro.atpg.podem import Podem, PodemStatus
+from repro.rpg.prng import make_source
+
+
+@dataclass
+class DeterministicTestSet:
+    """A set of single-vector full-scan tests with known coverage."""
+
+    tests: List[ScanTest]
+    covered: List[Fault]
+    undetectable: List[Fault] = field(default_factory=list)
+    aborted: List[Fault] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.tests)
+
+    def full_scan_cycles(self, n_sv: int) -> int:
+        """TAT with complete scan per test (overlapped in/out)."""
+        return (self.size + 1) * n_sv + self.size
+
+    def coverage(self) -> float:
+        total = len(self.covered) + len(self.aborted)
+        return len(self.covered) / total if total else 1.0
+
+
+def generate_deterministic_tests(
+    circuit_or_graph: Union[Circuit, FaultGraph],
+    faults: Optional[Sequence[Fault]] = None,
+    random_patterns: int = 256,
+    seed: int = 20010618,
+    backtrack_limit: int = 1000,
+    compact: bool = True,
+) -> DeterministicTestSet:
+    """The standard ATPG loop with fault dropping and compaction."""
+    if isinstance(circuit_or_graph, FaultGraph):
+        graph = circuit_or_graph
+    else:
+        graph = FaultGraph(circuit_or_graph)
+    circuit = graph.circuit
+    if faults is None:
+        faults = collapse_faults(circuit)
+    simulator = FaultSimulator(graph)
+    n_sv = circuit.num_state_vars
+    n_pi = circuit.num_inputs
+
+    tests: List[ScanTest] = []
+    covered: List[Fault] = []
+    remaining = list(faults)
+
+    # Random phase: batches of random tests, keep only useful ones.
+    source = make_source(seed)
+    while random_patterns > 0 and remaining:
+        batch = [
+            ScanTest(si=source.bits(n_sv), vectors=[source.bits(n_pi)])
+            for _ in range(min(64, random_patterns))
+        ]
+        random_patterns -= len(batch)
+        for test in batch:
+            hits = simulator.simulate_grouped([test], remaining)
+            if hits:
+                tests.append(test)
+                covered.extend(hits)
+                remaining = [f for f in remaining if f not in hits]
+            if not remaining:
+                break
+
+    # Deterministic phase.
+    podem = Podem(graph, backtrack_limit=backtrack_limit)
+    undetectable: List[Fault] = []
+    aborted: List[Fault] = []
+    while remaining:
+        fault = remaining.pop(0)
+        res = podem.run(fault)
+        if res.status is PodemStatus.UNDETECTABLE:
+            undetectable.append(fault)
+            continue
+        if res.status is PodemStatus.ABORTED:
+            aborted.append(fault)
+            continue
+        test = ScanTest(si=res.si_bits, vectors=[res.pi_bits])
+        hits = simulator.simulate_grouped([test], [fault] + remaining)
+        tests.append(test)
+        covered.extend(hits)
+        remaining = [f for f in remaining if f not in hits]
+
+    if compact and tests:
+        tests = _reverse_order_compaction(simulator, tests, covered)
+
+    return DeterministicTestSet(
+        tests=tests,
+        covered=covered,
+        undetectable=undetectable,
+        aborted=aborted,
+    )
+
+
+def _reverse_order_compaction(
+    simulator: FaultSimulator,
+    tests: List[ScanTest],
+    covered: Sequence[Fault],
+) -> List[ScanTest]:
+    """Classical reverse-order pass: later tests (generated for hard
+    faults) often cover the early random tests' contributions."""
+    kept: List[ScanTest] = []
+    remaining = list(covered)
+    for test in reversed(tests):
+        if not remaining:
+            break
+        hits = simulator.simulate_grouped([test], remaining)
+        if hits:
+            kept.append(test)
+            remaining = [f for f in remaining if f not in hits]
+    kept.reverse()
+    if remaining:
+        # Safety net: coverage must be preserved exactly.
+        kept = list(tests)
+    return kept

@@ -1,0 +1,34 @@
+"""Benchmark circuits.
+
+The paper evaluates on ISCAS-89 and ITC-99 benchmarks.  The real netlist
+of the small ``s27`` (used in the paper's Section 2 worked example) is
+embedded; every other benchmark is represented by a **seeded synthetic
+stand-in** matched to the published interface statistics (see DESIGN.md
+section 3 for the substitution rationale).
+
+- :mod:`repro.bench_circuits.s27` -- the genuine ISCAS-89 s27,
+- :mod:`repro.bench_circuits.synthetic` -- the deterministic synthetic
+  circuit generator,
+- :mod:`repro.bench_circuits.catalog` -- name -> circuit factory with the
+  published statistics.
+"""
+
+from repro.bench_circuits.s27 import s27_circuit, S27_BENCH
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.bench_circuits.catalog import (
+    CatalogEntry,
+    available_circuits,
+    circuit_info,
+    load_circuit,
+)
+
+__all__ = [
+    "s27_circuit",
+    "S27_BENCH",
+    "SyntheticSpec",
+    "synthesize",
+    "CatalogEntry",
+    "available_circuits",
+    "circuit_info",
+    "load_circuit",
+]

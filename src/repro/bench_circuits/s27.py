@@ -1,0 +1,40 @@
+"""The ISCAS-89 benchmark circuit s27.
+
+Small enough to embed verbatim: 4 primary inputs, 1 primary output,
+3 flip-flops (G5, G6, G7 in scan order) and 10 logic gates.  This is the
+circuit behind the paper's Section 2 worked example (Tables 1 and 2).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.bench_parser import parse_bench
+from repro.circuit.netlist import Circuit
+
+S27_BENCH = """\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""
+
+
+def s27_circuit() -> Circuit:
+    """A fresh :class:`Circuit` instance of s27."""
+    return parse_bench(S27_BENCH, name="s27")

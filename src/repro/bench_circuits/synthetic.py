@@ -1,0 +1,218 @@
+"""Deterministic synthetic benchmark circuit generator.
+
+Generates sequential circuits with a requested interface (``n_pi``,
+``n_po``, ``n_ff``) and approximate gate count.  Design goals, in order:
+
+1. **Determinism** -- the same spec and seed always produce the identical
+   netlist (experiments are reproducible bit for bit).
+2. **Benchmark-like structure** -- mostly NAND/NOR/AND/OR/NOT gates,
+   fan-in 2 with occasional 3..6, locality-biased wiring (deep cones and
+   reconvergent fanout), plus a few wide AND/OR "comparator" trees, which
+   are the classic random-pattern-resistant sites.  This is what gives
+   the limited-scan method faults worth improving on.
+3. **Connectivity** -- an orphan queue feeds otherwise-unused signals back
+   into later gate inputs, so nearly every net drives something; the few
+   remaining dangles are preferentially used as flop inputs and outputs.
+
+The generator never creates combinational cycles (gate inputs are drawn
+only from already-created signals).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+
+#: Gate-type mix roughly matching ISCAS-89 profiles.
+_TYPE_CHOICES = [
+    (GateType.NAND, 0.27),
+    (GateType.NOR, 0.18),
+    (GateType.AND, 0.19),
+    (GateType.OR, 0.16),
+    (GateType.NOT, 0.10),
+    (GateType.XOR, 0.08),
+    (GateType.BUF, 0.02),
+]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Interface and size of a synthetic circuit."""
+
+    name: str
+    n_pi: int
+    n_po: int
+    n_ff: int
+    n_gates: int
+    seed: Optional[int] = None  # default: derived from the name
+
+    def resolved_seed(self) -> int:
+        if self.seed is not None:
+            return self.seed
+        return zlib.crc32(self.name.encode()) & 0x7FFFFFFF
+
+    def __post_init__(self) -> None:
+        if self.n_pi < 1:
+            raise ValueError("need at least one primary input")
+        if self.n_po < 0 or self.n_ff < 0:
+            raise ValueError("negative interface counts")
+        if self.n_po == 0 and self.n_ff == 0:
+            raise ValueError("circuit would have no observation points")
+        min_gates = self.n_po + self.n_ff
+        if self.n_gates < min_gates:
+            raise ValueError(
+                f"{self.n_gates} gates cannot drive {self.n_po} POs "
+                f"and {self.n_ff} flops"
+            )
+
+
+def synthesize(spec: SyntheticSpec) -> Circuit:
+    """Generate the circuit for ``spec`` (deterministic)."""
+    rng = np.random.Generator(np.random.PCG64(spec.resolved_seed()))
+    circuit = Circuit(spec.name)
+
+    pis = [f"I{i}" for i in range(spec.n_pi)]
+    qs = [f"Q{i}" for i in range(spec.n_ff)]
+    for net in pis:
+        circuit.add_input(net)
+
+    pool: List[str] = pis + qs  # signals available as gate inputs
+    use_count = {net: 0 for net in pool}
+    orphans: deque = deque(pool)  # never-used signals, oldest first
+
+    types, weights = zip(*_TYPE_CHOICES)
+    weights = np.asarray(weights) / sum(w for w in weights)
+
+    #: A handful of wide trees (random-pattern-resistant comparators).
+    n_wide = max(1, spec.n_gates // 80)
+    wide_positions = set(
+        int(p)
+        for p in rng.choice(
+            np.arange(spec.n_gates // 4, spec.n_gates),
+            size=min(n_wide, max(1, spec.n_gates - spec.n_gates // 4)),
+            replace=False,
+        )
+    )
+
+    primaries = pis + qs
+
+    def pick_input(recent_window: int = 48) -> str:
+        # A mixture tuned for testability: enough locality to create
+        # depth, enough fresh primary-input entropy to keep signals
+        # decorrelated (heavy locality breeds redundant logic), and an
+        # orphan queue so nearly everything is used.
+        r = rng.random()
+        if r < 0.25 and orphans and len(pool) > 8:
+            net = orphans.popleft()
+        elif r < 0.45:
+            net = primaries[int(rng.integers(len(primaries)))]
+        elif r < 0.80:
+            window = pool[-min(len(pool), recent_window):]
+            net = window[int(rng.integers(len(window)))]
+        else:
+            net = pool[int(rng.integers(len(pool)))]
+        if use_count[net] == 0 and net in orphans:
+            orphans.remove(net)
+        use_count[net] += 1
+        return net
+
+    collector_start = max(1, spec.n_gates - max(2, spec.n_gates // 10))
+    for g in range(spec.n_gates):
+        out = f"n{g}"
+        spare_orphans = len(orphans) - (spec.n_ff + spec.n_po)
+        if g >= collector_start and spare_orphans > 0:
+            # Collector phase: drain the orphan queue so the tail of the
+            # netlist does not dangle (dangling lines are untestable).
+            gates_left = spec.n_gates - g
+            need_per_gate = -(-spare_orphans // max(1, gates_left)) + 1
+            fanin = max(2, min(8, max(need_per_gate, spare_orphans + 1)))
+            seen = []
+            while orphans and len(seen) < fanin:
+                net = orphans.popleft()
+                if net not in seen:
+                    seen.append(net)
+                    use_count[net] += 1
+            while len(seen) < 2:
+                net = pool[int(rng.integers(len(pool)))]
+                if net not in seen:
+                    seen.append(net)
+                    use_count[net] += 1
+            gtype = GateType.NAND if rng.random() < 0.5 else GateType.NOR
+            circuit.add_gate(out, gtype, seen)
+            pool.append(out)
+            use_count[out] = 0
+            orphans.append(out)
+            continue
+        if g in wide_positions:
+            gtype = GateType.AND if rng.random() < 0.5 else GateType.OR
+            fanin = int(rng.integers(4, 6))
+        else:
+            gtype = types[int(rng.choice(len(types), p=weights))]
+            if gtype in (GateType.NOT, GateType.BUF):
+                fanin = 1
+            else:
+                r = rng.random()
+                fanin = 2 if r < 0.8 else (3 if r < 0.95 else 4)
+        seen: List[str] = []
+        for _ in range(fanin):
+            net = pick_input()
+            if net in seen:  # avoid degenerate duplicate pins
+                continue
+            seen.append(net)
+        if len(seen) < gtype.min_arity:
+            # Duplicate-avoidance starved the gate; fall back to NOT.
+            gtype = GateType.NOT
+            seen = seen[:1] or [pool[int(rng.integers(len(pool)))]]
+        circuit.add_gate(out, gtype, seen)
+        pool.append(out)
+        use_count[out] = 0
+        orphans.append(out)
+
+    def take_sink(prefer_orphans: bool = True) -> str:
+        if prefer_orphans and orphans:
+            net = orphans.popleft()
+        else:
+            # Late signals make deep observation paths.
+            start = max(0, len(pool) - spec.n_gates // 2 - 1)
+            net = pool[int(rng.integers(start, len(pool)))]
+            if net in orphans:
+                orphans.remove(net)
+        use_count[net] += 1
+        return net
+
+    # Flop inputs first (they also act as sinks), then primary outputs.
+    d_nets = [take_sink() for _ in range(spec.n_ff)]
+    for q, d in zip(qs, d_nets):
+        circuit.add_flop(q, d)
+
+    po_nets: List[str] = []
+    for _ in range(spec.n_po):
+        net = take_sink()
+        # A net may be both a flop input and a PO; avoid duplicate POs.
+        tries = 0
+        while net in po_nets and tries < 10:
+            net = take_sink(prefer_orphans=False)
+            tries += 1
+        po_nets.append(net)
+    for net in po_nets:
+        circuit.add_output(net)
+
+    return circuit
+
+
+def synthesize_named(
+    name: str, n_pi: int, n_po: int, n_ff: int, n_gates: int, seed: Optional[int] = None
+) -> Circuit:
+    """Convenience wrapper around :func:`synthesize`."""
+    return synthesize(
+        SyntheticSpec(
+            name=name, n_pi=n_pi, n_po=n_po, n_ff=n_ff, n_gates=n_gates, seed=seed
+        )
+    )

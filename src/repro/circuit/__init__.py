@@ -1,0 +1,42 @@
+"""Gate-level circuit modelling.
+
+This package provides the structural substrate used by every other part of
+the library:
+
+- :mod:`repro.circuit.library` -- the gate library (types and word-level
+  evaluation semantics),
+- :mod:`repro.circuit.netlist` -- the :class:`Circuit` netlist container,
+- :mod:`repro.circuit.bench_parser` -- ISCAS-89 ``.bench`` reader/writer,
+- :mod:`repro.circuit.levelize` -- topological levelization of the
+  combinational core,
+- :mod:`repro.circuit.transform` -- netlist rewrites (two-input
+  decomposition, explicit fanout branches),
+- :mod:`repro.circuit.validate` -- structural sanity checks,
+- :mod:`repro.circuit.stats` -- size/shape statistics.
+"""
+
+from repro.circuit.library import GateType, eval_gate_words, eval_gate_bits
+from repro.circuit.netlist import Circuit, Gate, Flop
+from repro.circuit.bench_parser import parse_bench, write_bench
+from repro.circuit.verilog import parse_verilog, write_verilog
+from repro.circuit.levelize import levelize
+from repro.circuit.validate import validate_circuit, CircuitError
+from repro.circuit.stats import circuit_stats, CircuitStats
+
+__all__ = [
+    "GateType",
+    "eval_gate_words",
+    "eval_gate_bits",
+    "Circuit",
+    "Gate",
+    "Flop",
+    "parse_bench",
+    "write_bench",
+    "parse_verilog",
+    "write_verilog",
+    "levelize",
+    "validate_circuit",
+    "CircuitError",
+    "circuit_stats",
+    "CircuitStats",
+]

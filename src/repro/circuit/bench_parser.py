@@ -1,0 +1,112 @@
+"""ISCAS-89 ``.bench`` format reader and writer.
+
+The ``.bench`` dialect accepted here is the common ISCAS-89/ITC-99 one::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+    G14 = NOT(G0)
+
+Gate names are case-insensitive; ``INV``/``BUFF`` aliases are accepted.
+Nets may be used before they are defined (forward references), as is usual
+in distributed benchmark files.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.circuit.library import BENCH_NAMES, GateType
+from repro.circuit.netlist import Circuit
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)\s*$"
+)
+
+
+class BenchParseError(ValueError):
+    """Raised on malformed ``.bench`` input, with a line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`.
+
+    Flip-flops appear in the scan chain in file order, which is the
+    convention used by the rest of the library.
+    """
+    circuit = Circuit(name)
+    pending_gates: List[Tuple[int, str, GateType, Tuple[str, ...]]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, net = decl.group(1).upper(), decl.group(2)
+            if kind == "INPUT":
+                circuit.add_input(net)
+            else:
+                circuit.add_output(net)
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if not assign:
+            raise BenchParseError(lineno, f"unrecognized statement: {raw.strip()!r}")
+        output, func, arglist = assign.groups()
+        func_upper = func.upper()
+        args = tuple(a.strip() for a in arglist.split(",") if a.strip())
+        if func_upper == "DFF":
+            if len(args) != 1:
+                raise BenchParseError(lineno, f"DFF must have 1 input, got {len(args)}")
+            circuit.add_flop(q=output, d=args[0])
+        elif func_upper in BENCH_NAMES:
+            gtype = BENCH_NAMES[func_upper]
+            # Defer gate insertion so error messages keep the line number but
+            # duplicate-driver detection happens through the Circuit API.
+            pending_gates.append((lineno, output, gtype, args))
+        else:
+            raise BenchParseError(lineno, f"unknown gate type: {func}")
+    for lineno, output, gtype, args in pending_gates:
+        try:
+            circuit.add_gate(output, gtype, args)
+        except ValueError as exc:
+            raise BenchParseError(lineno, str(exc)) from exc
+    return circuit
+
+
+def parse_bench_file(path: Union[str, Path]) -> Circuit:
+    """Parse a ``.bench`` file; the circuit is named after the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a :class:`Circuit` back to ``.bench`` text.
+
+    Round-trips with :func:`parse_bench` (modulo comments/whitespace):
+    flip-flop and gate order is preserved so scan-chain order survives.
+    """
+    lines = [f"# {circuit.name}"]
+    for net in circuit.inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({net})")
+    lines.append("")
+    for flop in circuit.flops:
+        lines.append(f"{flop.q} = DFF({flop.d})")
+    for gate in circuit.iter_gates():
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gtype.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: Union[str, Path]) -> None:
+    Path(path).write_text(write_bench(circuit))

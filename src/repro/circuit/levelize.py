@@ -1,0 +1,98 @@
+"""Topological levelization of the combinational core of a circuit.
+
+For simulation and ATPG the sequential circuit is treated as its
+combinational core: level 0 holds the primary inputs and the flip-flop
+outputs (pseudo primary inputs); each gate sits one level above the deepest
+of its fan-ins.  Flip-flop *inputs* (pseudo primary outputs) are ordinary
+gate-driven nets and carry the level of their driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.circuit.netlist import Circuit, Gate
+
+
+class CombinationalCycleError(ValueError):
+    """Raised when gates form a cycle that is not broken by a flip-flop."""
+
+    def __init__(self, members: List[str]) -> None:
+        super().__init__(f"combinational cycle through: {sorted(members)}")
+        self.members = members
+
+
+@dataclass
+class Levelization:
+    """Result of levelizing a circuit.
+
+    Attributes:
+        level_of: net name -> level (PIs and flop outputs are level 0).
+        order: gates in a valid topological evaluation order.
+        levels: gates grouped by level (index 1 = first gate level).
+    """
+
+    level_of: Dict[str, int]
+    order: List[Gate]
+    levels: List[List[Gate]]
+
+    @property
+    def depth(self) -> int:
+        """Number of gate levels (0 for a circuit with no gates)."""
+        return len(self.levels)
+
+
+def levelize(circuit: Circuit) -> Levelization:
+    """Levelize ``circuit``'s combinational core.
+
+    Raises :class:`CombinationalCycleError` if the gates cannot be ordered,
+    and ``KeyError`` if a gate reads an undriven net (validation proper is
+    in :mod:`repro.circuit.validate`; this function only needs enough
+    checking to avoid silent mis-simulation).
+    """
+    level_of: Dict[str, int] = {}
+    for net in circuit.inputs:
+        level_of[net] = 0
+    for q in circuit.state_vars:
+        level_of[q] = 0
+
+    remaining: Dict[str, Gate] = {g.output: g for g in circuit.iter_gates()}
+    order: List[Gate] = []
+    levels: List[List[Gate]] = []
+
+    # Kahn-style level-synchronous scheduling: a gate is ready once all its
+    # inputs are levelled.  Nets that are never driven raise immediately.
+    driven = set(level_of) | set(remaining)
+    for gate in remaining.values():
+        for src in gate.inputs:
+            if src not in driven:
+                raise KeyError(f"gate {gate.output} reads undriven net {src}")
+
+    while remaining:
+        ready: List[Gate] = []
+        for gate in remaining.values():
+            if all(src in level_of for src in gate.inputs):
+                ready.append(gate)
+        if not ready:
+            raise CombinationalCycleError(list(remaining))
+        # Assign exact levels (1 + max input level); gates whose computed
+        # level exceeds the current frontier wait for a later sweep so that
+        # ``levels[i]`` only depends on strictly earlier groups.
+        frontier = len(levels) + 1
+        this_level: List[Gate] = []
+        for gate in ready:
+            lvl = 1 + max((level_of[src] for src in gate.inputs), default=0)
+            if lvl == frontier:
+                this_level.append(gate)
+        if not this_level:
+            # Every ready gate computed a deeper level than the frontier;
+            # cannot happen with exact levels, guard against regressions.
+            raise AssertionError("levelization frontier stalled")
+        for gate in this_level:
+            level_of[gate.output] = frontier
+            del remaining[gate.output]
+            order.append(gate)
+        levels.append(this_level)
+
+    return Levelization(level_of=level_of, order=order, levels=levels)

@@ -1,0 +1,205 @@
+"""Gate library: gate types and their evaluation semantics.
+
+Two evaluation entry points are provided:
+
+- :func:`eval_gate_bits` -- scalar 0/1 evaluation, used by the reference
+  (slow, obviously-correct) interpreter and by the ATPG engine's good-value
+  computations.
+- :func:`eval_gate_words` -- word-level evaluation over ``numpy.uint64``
+  arrays where every bit position is an independent machine copy.  This is
+  the kernel the bit-parallel simulators are built on.
+
+All gates are positive-unate-or-inverting standard cells: AND, OR, NAND,
+NOR, XOR, XNOR, NOT, BUF, plus constant generators CONST0/CONST1.  DFFs are
+not part of the combinational library; they are modelled structurally by
+:class:`repro.circuit.netlist.Flop`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+#: All 64 bits set; used to implement NOT on uint64 words without relying on
+#: numpy's signed-integer behaviour.
+ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class GateType(enum.Enum):
+    """Combinational gate types supported by the library."""
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    @property
+    def is_inverting(self) -> bool:
+        """True if the gate's output inverts its core function."""
+        return self in _INVERTING
+
+    @property
+    def base(self) -> "GateType":
+        """The non-inverting counterpart (NAND -> AND, NOT -> BUF, ...)."""
+        return _BASE[self]
+
+    @property
+    def min_arity(self) -> int:
+        return _MIN_ARITY[self]
+
+    @property
+    def max_arity(self) -> int:
+        """Maximum supported fan-in (0 means 'no inputs allowed')."""
+        return _MAX_ARITY[self]
+
+    @property
+    def controlling_value(self) -> int | None:
+        """The input value that determines the output alone, if any.
+
+        AND/NAND: 0, OR/NOR: 1.  XOR-family and single-input gates have no
+        controlling value and return None.
+        """
+        if self.base is GateType.AND:
+            return 0
+        if self.base is GateType.OR:
+            return 1
+        return None
+
+    @property
+    def inversion_parity(self) -> int:
+        """1 if the gate inverts (NAND/NOR/XNOR/NOT), else 0."""
+        return 1 if self.is_inverting else 0
+
+
+_INVERTING = {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT}
+
+_BASE = {
+    GateType.AND: GateType.AND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.OR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.NOT: GateType.BUF,
+    GateType.BUF: GateType.BUF,
+    GateType.CONST0: GateType.CONST0,
+    GateType.CONST1: GateType.CONST1,
+}
+
+_MIN_ARITY = {
+    GateType.AND: 2,
+    GateType.NAND: 2,
+    GateType.OR: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+_MAX_ARITY = {
+    GateType.AND: 64,
+    GateType.NAND: 64,
+    GateType.OR: 64,
+    GateType.NOR: 64,
+    GateType.XOR: 64,
+    GateType.XNOR: 64,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+#: Names accepted by the ``.bench`` parser, mapped to gate types.
+BENCH_NAMES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def eval_gate_bits(gtype: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a gate on scalar 0/1 inputs and return 0 or 1.
+
+    Raises ``ValueError`` on an arity violation so that structural bugs
+    surface immediately instead of producing silent garbage.
+    """
+    n = len(inputs)
+    if n < gtype.min_arity or n > gtype.max_arity:
+        raise ValueError(f"{gtype.value} gate with {n} inputs")
+    if any(v not in (0, 1) for v in inputs):
+        raise ValueError(f"non-binary input values: {inputs!r}")
+
+    base = gtype.base
+    if base is GateType.CONST0:
+        out = 0
+    elif base is GateType.CONST1:
+        out = 1
+    elif base is GateType.BUF:
+        out = inputs[0]
+    elif base is GateType.AND:
+        out = int(all(inputs))
+    elif base is GateType.OR:
+        out = int(any(inputs))
+    else:  # XOR family
+        out = 0
+        for v in inputs:
+            out ^= v
+    if gtype.is_inverting:
+        out ^= 1
+    return out
+
+
+def eval_gate_words(gtype: GateType, inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate a gate bitwise over uint64 word arrays.
+
+    Every bit of the words is an independent simulation copy (a pattern or
+    a fault machine).  The result array has the broadcast shape of the
+    inputs; CONST gates require a reference input-free call and therefore
+    return a scalar-shaped array of one word.
+    """
+    n = len(inputs)
+    if n < gtype.min_arity or n > gtype.max_arity:
+        raise ValueError(f"{gtype.value} gate with {n} inputs")
+
+    base = gtype.base
+    if base is GateType.CONST0:
+        out = np.uint64(0)
+    elif base is GateType.CONST1:
+        out = ALL_ONES
+    elif base is GateType.BUF:
+        out = inputs[0].copy() if isinstance(inputs[0], np.ndarray) else inputs[0]
+    elif base is GateType.AND:
+        out = inputs[0]
+        for w in inputs[1:]:
+            out = out & w
+    elif base is GateType.OR:
+        out = inputs[0]
+        for w in inputs[1:]:
+            out = out | w
+    else:  # XOR family
+        out = inputs[0]
+        for w in inputs[1:]:
+            out = out ^ w
+    if gtype.is_inverting:
+        out = out ^ ALL_ONES
+    return np.asarray(out, dtype=np.uint64)

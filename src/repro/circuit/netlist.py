@@ -1,0 +1,204 @@
+"""Netlist container for full-scan sequential circuits.
+
+A :class:`Circuit` is a synchronous sequential circuit in the ISCAS-89
+style: named nets, primary inputs/outputs, combinational gates, and D
+flip-flops.  The flip-flop declaration order defines the scan-chain order
+used throughout the library (index 0 is the scan-in / "left" end, the last
+index is the scan-out / "right" end, matching the paper's right-shift
+convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.circuit.library import GateType
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational gate: ``output = gtype(inputs...)``."""
+
+    output: str
+    gtype: GateType
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.inputs)
+        if n < self.gtype.min_arity or n > self.gtype.max_arity:
+            raise ValueError(
+                f"gate {self.output}: {self.gtype.value} with {n} inputs"
+            )
+
+
+@dataclass(frozen=True)
+class Flop:
+    """A D flip-flop: state variable ``q`` latches net ``d`` each cycle."""
+
+    q: str
+    d: str
+
+
+class Circuit:
+    """A full-scan sequential circuit.
+
+    Nets are identified by name.  Every net is driven by exactly one of:
+    a primary input, a gate, or a flip-flop output (``q``).  The class
+    enforces single drivers at construction time; deeper structural checks
+    (undriven nets, combinational cycles) live in
+    :mod:`repro.circuit.validate`.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}
+        self._flops: List[Flop] = []
+        self._flop_by_q: Dict[str, Flop] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> None:
+        self._check_new_driver(name)
+        self._inputs.append(name)
+
+    def add_output(self, name: str) -> None:
+        if name in self._outputs:
+            raise ValueError(f"duplicate output declaration: {name}")
+        self._outputs.append(name)
+
+    def add_gate(self, output: str, gtype: GateType, inputs: Iterable[str]) -> Gate:
+        gate = Gate(output=output, gtype=gtype, inputs=tuple(inputs))
+        self._check_new_driver(output)
+        self._gates[output] = gate
+        return gate
+
+    def add_flop(self, q: str, d: str) -> Flop:
+        self._check_new_driver(q)
+        flop = Flop(q=q, d=d)
+        self._flops.append(flop)
+        self._flop_by_q[q] = flop
+        return flop
+
+    def _check_new_driver(self, name: str) -> None:
+        if name in self._gates or name in self._flop_by_q or name in self._inputs:
+            raise ValueError(f"net {name} already has a driver")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input nets, in declaration order."""
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary output nets, in declaration order."""
+        return list(self._outputs)
+
+    @property
+    def flops(self) -> List[Flop]:
+        """Flip-flops in scan-chain order (index 0 = scan-in end)."""
+        return list(self._flops)
+
+    @property
+    def gates(self) -> List[Gate]:
+        """All combinational gates (insertion order)."""
+        return list(self._gates.values())
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self._outputs)
+
+    @property
+    def num_state_vars(self) -> int:
+        """The paper's ``N_SV``: number of scanned flip-flops."""
+        return len(self._flops)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def state_vars(self) -> List[str]:
+        """Flip-flop output nets in scan-chain order."""
+        return [f.q for f in self._flops]
+
+    @property
+    def next_state_nets(self) -> List[str]:
+        """Flip-flop input (D) nets in scan-chain order."""
+        return [f.d for f in self._flops]
+
+    def gate_for(self, net: str) -> Optional[Gate]:
+        """The gate driving ``net``, or None if it is a PI or flop output."""
+        return self._gates.get(net)
+
+    def flop_for(self, q: str) -> Optional[Flop]:
+        return self._flop_by_q.get(q)
+
+    def is_input(self, net: str) -> bool:
+        return net in self._input_set()
+
+    def is_state_var(self, net: str) -> bool:
+        return net in self._flop_by_q
+
+    def _input_set(self) -> set:
+        # Small circuits dominate; recompute rather than cache+invalidate.
+        return set(self._inputs)
+
+    def signals(self) -> List[str]:
+        """All driven nets: PIs, flop outputs, then gate outputs."""
+        return self._inputs + [f.q for f in self._flops] + list(self._gates)
+
+    def iter_gates(self) -> Iterator[Gate]:
+        return iter(self._gates.values())
+
+    def fanout_map(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Map each net to the (consumer, pin-index) pairs reading it.
+
+        Flip-flop D connections are reported with the flop's ``q`` name as
+        the consumer and pin index 0.  Primary outputs are not consumers.
+        """
+        fan: Dict[str, List[Tuple[str, int]]] = {s: [] for s in self.signals()}
+        for gate in self._gates.values():
+            for pin, src in enumerate(gate.inputs):
+                fan.setdefault(src, []).append((gate.output, pin))
+        for flop in self._flops:
+            fan.setdefault(flop.d, []).append((flop.q, 0))
+        return fan
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Structural deep copy (gates/flops are immutable, lists rebuilt)."""
+        out = Circuit(name or self.name)
+        out._inputs = list(self._inputs)
+        out._outputs = list(self._outputs)
+        out._gates = dict(self._gates)
+        out._flops = list(self._flops)
+        out._flop_by_q = dict(self._flop_by_q)
+        return out
+
+    def reorder_scan_chain(self, order: List[str]) -> "Circuit":
+        """Return a copy with the scan chain reordered to ``order``.
+
+        ``order`` must be a permutation of the current state variables.
+        """
+        if sorted(order) != sorted(self.state_vars):
+            raise ValueError("scan order must be a permutation of state vars")
+        out = self.copy()
+        out._flops = [self._flop_by_q[q] for q in order]
+        out._flop_by_q = {f.q: f for f in out._flops}
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Circuit({self.name!r}, pi={self.num_inputs}, po={self.num_outputs},"
+            f" ff={self.num_state_vars}, gates={self.num_gates})"
+        )

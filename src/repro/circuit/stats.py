@@ -1,0 +1,61 @@
+"""Circuit size/shape statistics.
+
+Used by the benchmark catalog (to check synthetic stand-ins against the
+published interface statistics) and by reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.circuit.levelize import levelize
+from repro.circuit.netlist import Circuit
+
+
+@dataclass
+class CircuitStats:
+    """Summary statistics of a circuit."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_flops: int
+    num_gates: int
+    depth: int
+    max_fanin: int
+    max_fanout: int
+    gate_type_counts: Dict[str, int] = field(default_factory=dict)
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name:<12} pi={self.num_inputs:<4} po={self.num_outputs:<4} "
+            f"ff={self.num_flops:<5} gates={self.num_gates:<6} "
+            f"depth={self.depth:<3} fanin<={self.max_fanin} fanout<={self.max_fanout}"
+        )
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for ``circuit``."""
+    lev = levelize(circuit)
+    type_counts = Counter(g.gtype.value for g in circuit.iter_gates())
+    max_fanin = max((len(g.inputs) for g in circuit.iter_gates()), default=0)
+    fanout_counts = Counter()
+    for gate in circuit.iter_gates():
+        for src in gate.inputs:
+            fanout_counts[src] += 1
+    for flop in circuit.flops:
+        fanout_counts[flop.d] += 1
+    max_fanout = max(fanout_counts.values(), default=0)
+    return CircuitStats(
+        name=circuit.name,
+        num_inputs=circuit.num_inputs,
+        num_outputs=circuit.num_outputs,
+        num_flops=circuit.num_state_vars,
+        num_gates=circuit.num_gates,
+        depth=lev.depth,
+        max_fanin=max_fanin,
+        max_fanout=max_fanout,
+        gate_type_counts=dict(type_counts),
+    )

@@ -1,0 +1,144 @@
+"""Netlist transforms used to build the fault-simulation graph.
+
+Two rewrites are provided, both structural and behaviour-preserving:
+
+- :func:`decompose_to_two_input` -- replace gates with fan-in > 2 by chains
+  of two-input gates.  The compiled simulator only vectorizes one- and
+  two-input operations, and pin faults on wide gates map onto the chain
+  leaves.
+- :func:`insert_fanout_branches` -- give every consumer pin of a
+  multi-fanout net its own BUF-driven branch net.  After this rewrite every
+  classical *pin* stuck-at fault is an *output* stuck-at fault on some net,
+  which makes fault injection uniform.
+
+Both functions return the rewritten circuit together with a mapping that
+lets the fault model translate original-circuit pin coordinates into
+rewritten-circuit nets.  Pin coordinates are ``(consumer, pin_index)``
+where ``consumer`` is a gate output net, or a flop's ``q`` net for the
+flop's D pin (pin index 0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit, Gate
+
+PinCoord = Tuple[str, int]
+
+#: Final-stage gate to use when decomposing an inverting wide gate.
+_FINAL_STAGE = {
+    GateType.NAND: (GateType.AND, GateType.NAND),
+    GateType.NOR: (GateType.OR, GateType.NOR),
+    GateType.XNOR: (GateType.XOR, GateType.XNOR),
+    GateType.AND: (GateType.AND, GateType.AND),
+    GateType.OR: (GateType.OR, GateType.OR),
+    GateType.XOR: (GateType.XOR, GateType.XOR),
+}
+
+
+def decompose_to_two_input(
+    circuit: Circuit,
+) -> Tuple[Circuit, Dict[PinCoord, PinCoord]]:
+    """Rewrite gates with fan-in > 2 into left-to-right two-input chains.
+
+    Returns ``(new_circuit, pin_map)`` where ``pin_map`` maps every
+    original gate pin to the chain pin that now reads the same source net.
+    Pins of untouched gates map to themselves, so the map is total over
+    gate pins (flop D pins are never rewritten and map to themselves).
+    """
+    out = Circuit(circuit.name)
+    for net in circuit.inputs:
+        out.add_input(net)
+    for net in circuit.outputs:
+        out.add_output(net)
+    for flop in circuit.flops:
+        out.add_flop(flop.q, flop.d)
+
+    pin_map: Dict[PinCoord, PinCoord] = {}
+    for flop in circuit.flops:
+        pin_map[(flop.q, 0)] = (flop.q, 0)
+
+    for gate in circuit.iter_gates():
+        k = len(gate.inputs)
+        if k <= 2:
+            out.add_gate(gate.output, gate.gtype, gate.inputs)
+            for pin in range(k):
+                pin_map[(gate.output, pin)] = (gate.output, pin)
+            continue
+        chain_type, final_type = _FINAL_STAGE[gate.gtype]
+        # t_1 = base(in0, in1); t_j = base(t_{j-1}, in_{j+1}); the last stage
+        # carries the original output name and the original inversion.
+        prev = gate.inputs[0]
+        prev_is_input0 = True
+        for stage in range(1, k):
+            src = gate.inputs[stage]
+            last = stage == k - 1
+            dst = gate.output if last else f"{gate.output}$d{stage}"
+            gtype = final_type if last else chain_type
+            out.add_gate(dst, gtype, (prev, src))
+            if prev_is_input0:
+                pin_map[(gate.output, 0)] = (dst, 0)
+                prev_is_input0 = False
+            pin_map[(gate.output, stage)] = (dst, 1)
+            prev = dst
+
+    return out, pin_map
+
+
+def insert_fanout_branches(
+    circuit: Circuit,
+) -> Tuple[Circuit, Dict[PinCoord, str]]:
+    """Give each consumer pin of a multi-fanout net a private branch net.
+
+    Returns ``(new_circuit, branch_of)`` where ``branch_of`` maps every
+    consumer pin coordinate (of the *input* circuit) to the net that now
+    feeds it: a fresh ``BUF``-driven branch net if the source had fanout
+    greater than one, else the original source net.  Primary outputs are
+    observation points, not consumers, and keep reading the stem.
+    """
+    fanout = circuit.fanout_map()
+    # A primary-output tap counts as a fanout destination: a pin fault on a
+    # net that also feeds a PO must not be directly observable at that PO.
+    po_taps: Dict[str, int] = {}
+    for net in circuit.outputs:
+        po_taps[net] = po_taps.get(net, 0) + 1
+    multi = {
+        net
+        for net, readers in fanout.items()
+        if len(readers) + po_taps.get(net, 0) > 1
+    }
+
+    out = Circuit(circuit.name)
+    for net in circuit.inputs:
+        out.add_input(net)
+    for net in circuit.outputs:
+        out.add_output(net)
+
+    branch_of: Dict[PinCoord, str] = {}
+    branch_gates: List[Gate] = []
+    counters: Dict[str, int] = {}
+
+    def feed(src: str, consumer: str, pin: int) -> str:
+        if src not in multi:
+            branch_of[(consumer, pin)] = src
+            return src
+        idx = counters.get(src, 0)
+        counters[src] = idx + 1
+        branch = f"{src}$b{idx}"
+        branch_gates.append(Gate(output=branch, gtype=GateType.BUF, inputs=(src,)))
+        branch_of[(consumer, pin)] = branch
+        return branch
+
+    for flop in circuit.flops:
+        out.add_flop(flop.q, feed(flop.d, flop.q, 0))
+    for gate in circuit.iter_gates():
+        new_inputs = tuple(
+            feed(src, gate.output, pin) for pin, src in enumerate(gate.inputs)
+        )
+        out.add_gate(gate.output, gate.gtype, new_inputs)
+    for gate in branch_gates:
+        out.add_gate(gate.output, gate.gtype, gate.inputs)
+
+    return out, branch_of

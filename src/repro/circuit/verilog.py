@@ -1,0 +1,167 @@
+"""Structural Verilog netlist reader and writer.
+
+Supports the gate-primitive subset that structural DFT netlists use::
+
+    module s27 (G0, G1, G2, G3, G17, clk);
+      input G0, G1, G2, G3, clk;
+      output G17;
+      wire G5, G6, G7, G8;
+      nand U1 (G9, G16, G15);
+      not  U2 (G14, G0);
+      dff  U3 (G5, G10, clk);     // (Q, D, clk)
+    endmodule
+
+Primitives: ``and, nand, or, nor, xor, xnor, not, buf`` with the output
+first (Verilog primitive convention), plus a ``dff`` cell with ports
+``(Q, D[, clk])``.  Continuous assignments of constants
+(``assign n = 1'b0;``) map to CONST gates.  One module per file;
+comments (`//` and `/* */`) are stripped.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+_MODULE_RE = re.compile(
+    r"module\s+([A-Za-z_][\w$]*)\s*\((.*?)\)\s*;(.*?)endmodule",
+    re.DOTALL,
+)
+_DECL_RE = re.compile(r"^(input|output|wire|reg)\s+(.+)$")
+_INST_RE = re.compile(r"^([A-Za-z_][\w$]*)\s+([A-Za-z_][\w$]*)?\s*\((.+)\)$")
+_ASSIGN_RE = re.compile(r"^assign\s+([\w$]+)\s*=\s*1'b([01])$")
+
+
+class VerilogParseError(ValueError):
+    pass
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", " ", text)
+
+
+def parse_verilog(
+    text: str,
+    clock_names: Tuple[str, ...] = ("clk", "clock", "CK", "CLK"),
+) -> Circuit:
+    """Parse one structural Verilog module into a :class:`Circuit`.
+
+    Nets named in ``clock_names`` are treated as the clock and dropped
+    (the circuit model is cycle-based); a trailing ``dff`` port matching
+    a clock name is likewise ignored.
+    """
+    text = _strip_comments(text)
+    m = _MODULE_RE.search(text)
+    if not m:
+        raise VerilogParseError("no module found")
+    name, _portlist, body = m.groups()
+    circuit = Circuit(name)
+    clocks = set(clock_names)
+    outputs: List[str] = []
+
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    instances: List[Tuple[str, Tuple[str, ...]]] = []
+    for stmt in statements:
+        stmt = re.sub(r"\s+", " ", stmt)
+        decl = _DECL_RE.match(stmt)
+        if decl:
+            kind, names = decl.groups()
+            nets = [n.strip() for n in names.split(",") if n.strip()]
+            if kind == "input":
+                for net in nets:
+                    if net not in clocks:
+                        circuit.add_input(net)
+            elif kind == "output":
+                outputs.extend(nets)
+            # wire/reg declarations carry no structure here.
+            continue
+        assign = _ASSIGN_RE.match(stmt)
+        if assign:
+            net, bit = assign.groups()
+            gtype = GateType.CONST1 if bit == "1" else GateType.CONST0
+            circuit.add_gate(net, gtype, [])
+            continue
+        inst = _INST_RE.match(stmt)
+        if inst:
+            prim, _iname, ports = inst.groups()
+            port_nets = tuple(p.strip() for p in ports.split(","))
+            instances.append((prim.lower(), port_nets))
+            continue
+        raise VerilogParseError(f"unrecognized statement: {stmt!r}")
+
+    for prim, ports in instances:
+        if prim == "dff":
+            ports = tuple(p for p in ports if p not in clocks)
+            if len(ports) != 2:
+                raise VerilogParseError(
+                    f"dff needs (Q, D[, clk]) ports, got {ports}"
+                )
+            circuit.add_flop(q=ports[0], d=ports[1])
+        elif prim in _PRIMITIVES:
+            if len(ports) < 2:
+                raise VerilogParseError(f"{prim} needs >= 2 ports")
+            circuit.add_gate(ports[0], _PRIMITIVES[prim], ports[1:])
+        else:
+            raise VerilogParseError(f"unknown primitive: {prim}")
+
+    for net in outputs:
+        circuit.add_output(net)
+    return circuit
+
+
+def parse_verilog_file(path: Union[str, Path]) -> Circuit:
+    return parse_verilog(Path(path).read_text())
+
+
+def write_verilog(circuit: Circuit, clock: str = "clk") -> str:
+    """Serialize a :class:`Circuit` as structural Verilog.
+
+    Round-trips with :func:`parse_verilog` (clock added iff the circuit
+    has flip-flops).
+    """
+    has_ffs = circuit.num_state_vars > 0
+    ports = circuit.inputs + circuit.outputs + ([clock] if has_ffs else [])
+    lines = [f"module {circuit.name} ({', '.join(ports)});"]
+    ins = circuit.inputs + ([clock] if has_ffs else [])
+    lines.append(f"  input {', '.join(ins)};")
+    if circuit.outputs:
+        lines.append(f"  output {', '.join(circuit.outputs)};")
+
+    io_nets = set(circuit.inputs) | set(circuit.outputs)
+    wires = [n for n in circuit.signals() if n not in io_nets]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+
+    for i, flop in enumerate(circuit.flops):
+        lines.append(f"  dff FF{i} ({flop.q}, {flop.d}, {clock});")
+    for i, gate in enumerate(circuit.iter_gates()):
+        if gate.gtype is GateType.CONST0:
+            lines.append(f"  assign {gate.output} = 1'b0;")
+        elif gate.gtype is GateType.CONST1:
+            lines.append(f"  assign {gate.output} = 1'b1;")
+        else:
+            prim = gate.gtype.value.lower()
+            args = ", ".join((gate.output,) + gate.inputs)
+            lines.append(f"  {prim} U{i} ({args});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(circuit: Circuit, path: Union[str, Path]) -> None:
+    Path(path).write_text(write_verilog(circuit))

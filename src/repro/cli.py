@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro stats s208
+    python -m repro faults s208
+    python -m repro run s208 --la 8 --lb 16 --n 64
+    python -m repro first-complete s208
+    python -m repro table 6 [--full]
+    python -m repro convert s27.bench s27.v
+
+Circuits are catalog names (``python -m repro list``) or paths to
+``.bench`` / ``.v`` netlist files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench_circuits import available_circuits, circuit_info, load_circuit
+from repro.circuit.bench_parser import parse_bench_file, write_bench_file
+from repro.circuit.netlist import Circuit
+from repro.circuit.stats import circuit_stats
+from repro.circuit.verilog import parse_verilog_file, write_verilog_file
+from repro.core.config import BistConfig, D1_DECREASING, D1_INCREASING
+from repro.core.session import LimitedScanBist
+
+
+def resolve_circuit(spec: str) -> Circuit:
+    """A catalog name, or a path ending in .bench / .v."""
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        return parse_bench_file(path)
+    if path.suffix in (".v", ".sv") and path.exists():
+        return parse_verilog_file(path)
+    return load_circuit(spec)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'name':<10} {'pi':>4} {'po':>4} {'ff':>6} {'gates':>7} "
+          f"{'tier':<7} source")
+    for name in available_circuits():
+        e = circuit_info(name)
+        source = "synthetic" if e.synthetic else "real netlist"
+        print(f"{e.name:<10} {e.n_pi:>4} {e.n_po:>4} {e.n_ff:>6} "
+              f"{e.n_gates:>7} {e.tier:<7} {source}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    print(circuit_stats(circuit).as_row())
+    if args.testability:
+        from repro.atpg.scoap import testability_profile
+
+        profile = testability_profile(circuit)
+        print("SCOAP difficulty profile over collapsed faults:")
+        for key, value in profile.items():
+            print(f"  {key}: {value:.2f}")
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.atpg.classify import classify_faults
+    from repro.faults.collapse import collapse_faults
+    from repro.faults.model import generate_faults
+
+    circuit = resolve_circuit(args.circuit)
+    universe = generate_faults(circuit)
+    collapsed = collapse_faults(circuit, universe)
+    print(f"fault universe: {len(universe)}  collapsed: {len(collapsed)}")
+    cls = classify_faults(circuit, faults=collapsed)
+    print(f"classification: {cls.summary()}")
+    return 0
+
+
+def _config_from_args(args: argparse.Namespace) -> BistConfig:
+    return BistConfig(
+        la=args.la,
+        lb=args.lb,
+        n=args.n,
+        base_seed=args.seed,
+        d1_values=(
+            D1_DECREASING if args.d1_order == "decreasing" else D1_INCREASING
+        ),
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    bist = LimitedScanBist(circuit, config=_config_from_args(args))
+    result = bist.run()
+    print(result.summary())
+    for pair in result.pairs:
+        print(f"  I={pair.iteration:<3} D1={pair.d1:<3} "
+              f"+{pair.newly_detected} faults, {pair.nsh} shift cycles")
+    return 0 if result.complete else 1
+
+
+def cmd_first_complete(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    bist = LimitedScanBist(circuit, config=_config_from_args(args))
+    report = bist.first_complete(max_combos=args.max_combos)
+    print(report.row())
+    print(report.result.summary())
+    return 0 if report.result.complete else 1
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments import table1, table3, table4, table5, table6, table7, table8
+
+    drivers = {
+        "1": lambda: table1.run().render(),
+        "3": lambda: table3.run(full=args.full).render(),
+        "4": lambda: table4.run(full=args.full).render(),
+        "5": lambda: table5.run().render(),
+        "6": lambda: table6.run(
+            table6.PAPER_CIRCUITS if args.full else table6.DEFAULT_CIRCUITS
+        ).render(),
+        "7": lambda: table7.run().render(),
+        "8": lambda: table8.run().render(),
+    }
+    if args.number not in drivers:
+        print(f"no driver for table {args.number}; available: "
+              f"{', '.join(sorted(drivers))}", file=sys.stderr)
+        return 2
+    print(drivers[args.number]())
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.source)
+    dest = Path(args.dest)
+    if dest.suffix == ".bench":
+        write_bench_file(circuit, dest)
+    elif dest.suffix in (".v", ".sv"):
+        write_verilog_file(circuit, dest)
+    else:
+        print(f"unknown output format: {dest.suffix}", file=sys.stderr)
+        return 2
+    print(f"wrote {dest}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Random limited-scan BIST (DAC 2001)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list catalog circuits").set_defaults(
+        func=cmd_list
+    )
+
+    p = sub.add_parser("stats", help="circuit statistics")
+    p.add_argument("circuit")
+    p.add_argument("--testability", action="store_true",
+                   help="include the SCOAP difficulty profile")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("faults", help="fault counts and classification")
+    p.add_argument("circuit")
+    p.set_defaults(func=cmd_faults)
+
+    def add_bist_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("circuit")
+        p.add_argument("--la", type=int, default=8)
+        p.add_argument("--lb", type=int, default=16)
+        p.add_argument("--n", type=int, default=64)
+        p.add_argument("--seed", type=int, default=20010618)
+        p.add_argument("--d1-order", choices=("increasing", "decreasing"),
+                       default="increasing")
+
+    p = sub.add_parser("run", help="Procedure 2 for one (LA, LB, N)")
+    add_bist_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("first-complete",
+                       help="cheapest combination reaching 100% coverage")
+    add_bist_args(p)
+    p.add_argument("--max-combos", type=int, default=8)
+    p.set_defaults(func=cmd_first_complete)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("convert", help="convert between .bench and .v")
+    p.add_argument("source")
+    p.add_argument("dest")
+    p.set_defaults(func=cmd_convert)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

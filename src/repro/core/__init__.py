@@ -1,0 +1,57 @@
+"""The paper's contribution: random limited-scan BIST.
+
+- :mod:`repro.core.config` -- the reproducible configuration record,
+- :mod:`repro.core.test_set` -- the initial random test set ``TS0``
+  (two lengths ``L_A``/``L_B``, ``N`` tests of each),
+- :mod:`repro.core.limited_scan` -- Procedure 1: deriving ``TS(I, D1)``
+  from ``TS0`` by random limited-scan insertion,
+- :mod:`repro.core.procedure2` -- Procedure 2: greedy selection of
+  ``(I, D1)`` pairs until complete coverage of detectable faults,
+- :mod:`repro.core.cost` -- the clock-cycle cost model,
+- :mod:`repro.core.parameter_selection` -- ``(L_A, L_B, N)`` enumeration
+  by increasing ``Ncyc0`` (Table 5) and the first-complete search,
+- :mod:`repro.core.metrics` -- the paper's reporting metrics
+  (det / cycles / app / ls),
+- :mod:`repro.core.baselines` -- comparison schemes (TS0-only,
+  multi-seed, single-vector BIST, full-scan insertion),
+- :mod:`repro.core.session` -- the high-level user API,
+- :mod:`repro.core.partial_scan` -- the concluding-remark extension.
+"""
+
+from repro.core.config import BistConfig
+from repro.core.test_set import generate_ts0
+from repro.core.limited_scan import build_limited_scan_test_set, schedule_for_test
+from repro.core.procedure2 import Procedure2Result, PairResult, run_procedure2
+from repro.core.cost import ncyc0, total_cycles
+from repro.core.parameter_selection import (
+    ParameterCombo,
+    enumerate_combinations,
+    first_combinations,
+)
+from repro.core.session import LimitedScanBist, CircuitReport
+from repro.core.compaction import compact_pairs, CompactionResult
+from repro.core.run_lengths import analyze_run_lengths, RunLengthStats
+from repro.core.coverage_curve import CoverageCurve, proposed_scheme_curve
+
+__all__ = [
+    "BistConfig",
+    "generate_ts0",
+    "schedule_for_test",
+    "build_limited_scan_test_set",
+    "run_procedure2",
+    "Procedure2Result",
+    "PairResult",
+    "ncyc0",
+    "total_cycles",
+    "ParameterCombo",
+    "enumerate_combinations",
+    "first_combinations",
+    "LimitedScanBist",
+    "CircuitReport",
+    "compact_pairs",
+    "CompactionResult",
+    "analyze_run_lengths",
+    "RunLengthStats",
+    "CoverageCurve",
+    "proposed_scheme_curve",
+]

@@ -1,0 +1,125 @@
+"""Compaction of the selected ``(I, D1)`` pair list.
+
+Procedure 2 is greedy in discovery order: a pair enters ``ID1_PAIRS``
+because it detected something new *at the time*.  Later pairs often
+re-detect those faults, so some earlier pairs become redundant.  Since
+each stored pair costs both storage and a full ``Ncyc(I, D1)`` re-
+application, dropping covered pairs is free coverage-preserving savings.
+This module implements the classical reverse-order compaction:
+
+1. fault-simulate every selected pair against the *full* target set
+   (no dropping) to get its complete detection set,
+2. walk the pairs newest-first, dropping any whose detections are
+   covered by ``TS0`` plus the pairs kept so far.
+
+Compaction preserves complete coverage exactly; the experiments report
+pairs/cycles before and after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.core.config import BistConfig
+from repro.core.cost import total_cycles
+from repro.core.limited_scan import build_limited_scan_test_set
+from repro.core.procedure2 import PairResult, Procedure2Result
+from repro.core.test_set import generate_ts0
+from repro.faults.fault_sim import FaultSimulator, ObservationPolicy
+from repro.faults.model import Fault
+
+
+@dataclass
+class CompactionResult:
+    """Before/after view of the pair list."""
+
+    kept: List[PairResult]
+    dropped: List[PairResult]
+    cycles_before: int
+    cycles_after: int
+    coverage_before: int
+    coverage_after: int
+
+    @property
+    def pairs_before(self) -> int:
+        return len(self.kept) + len(self.dropped)
+
+    @property
+    def pairs_after(self) -> int:
+        return len(self.kept)
+
+    def summary(self) -> str:
+        return (
+            f"compaction: {self.pairs_before} -> {self.pairs_after} pairs, "
+            f"{self.cycles_before} -> {self.cycles_after} cycles "
+            f"(coverage {self.coverage_before} -> {self.coverage_after})"
+        )
+
+
+def pair_detection_sets(
+    circuit: Circuit,
+    config: BistConfig,
+    pairs: Sequence[PairResult],
+    target_faults: Sequence[Fault],
+    simulator: Optional[FaultSimulator] = None,
+    policy: Optional[ObservationPolicy] = None,
+) -> Dict[Tuple[int, int], Set[Fault]]:
+    """Full (no-drop) detection set of each pair's ``TS(I, D1)``."""
+    simulator = simulator or FaultSimulator(circuit)
+    ts0 = generate_ts0(circuit, config)
+    n_sv = simulator.chain_length
+    out: Dict[Tuple[int, int], Set[Fault]] = {}
+    for pair in pairs:
+        ts = build_limited_scan_test_set(
+            ts0, pair.iteration, pair.d1, config, n_sv
+        )
+        hits = simulator.simulate_grouped(ts, target_faults, policy)
+        out[(pair.iteration, pair.d1)] = set(hits)
+    return out
+
+
+def compact_pairs(
+    circuit: Circuit,
+    result: Procedure2Result,
+    target_faults: Sequence[Fault],
+    simulator: Optional[FaultSimulator] = None,
+    policy: Optional[ObservationPolicy] = None,
+) -> CompactionResult:
+    """Reverse-order compaction of ``result``'s selected pairs."""
+    simulator = simulator or FaultSimulator(circuit)
+    config = result.config
+    ts0 = generate_ts0(circuit, config)
+    ts0_hits = set(simulator.simulate_grouped(ts0, target_faults, policy))
+
+    detections = pair_detection_sets(
+        circuit, config, result.pairs, target_faults, simulator, policy
+    )
+    full_union: Set[Fault] = set(ts0_hits)
+    for hits in detections.values():
+        full_union |= hits
+
+    kept: List[PairResult] = []
+    kept_union: Set[Fault] = set(ts0_hits)
+    dropped: List[PairResult] = []
+    # Newest-first: late pairs were selected against the hardest residue
+    # and tend to be irreplaceable; early pairs often became redundant.
+    for pair in reversed(result.pairs):
+        key = (pair.iteration, pair.d1)
+        if detections[key] - kept_union:
+            kept.append(pair)
+            kept_union |= detections[key]
+        else:
+            dropped.append(pair)
+    kept.reverse()
+
+    assert kept_union == full_union, "compaction must preserve coverage"
+    return CompactionResult(
+        kept=kept,
+        dropped=dropped,
+        cycles_before=total_cycles(result.ncyc0, [p.nsh for p in result.pairs]),
+        cycles_after=total_cycles(result.ncyc0, [p.nsh for p in kept]),
+        coverage_before=len(full_union),
+        coverage_after=len(kept_union),
+    )

@@ -1,0 +1,92 @@
+"""Configuration for the random limited-scan BIST scheme.
+
+Everything the paper's hardware would store -- and nothing more -- plus
+the simulation-side knobs.  A :class:`BistConfig` together with a circuit
+fully determines every generated test set: the scheme's storage cost is
+``(L_A, L_B, N)``, the base seed, and the selected ``(I, D1)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: The paper's default exploration order for D1 in Procedure 2.
+D1_INCREASING: Tuple[int, ...] = tuple(range(1, 11))
+#: The Table 7 variant: prefer fewer limited scans.
+D1_DECREASING: Tuple[int, ...] = tuple(range(10, 0, -1))
+
+
+@dataclass(frozen=True)
+class BistConfig:
+    """Parameters of the generation scheme.
+
+    Attributes:
+        la, lb: the two test lengths (``L_A < L_B`` as in the paper).
+        n: number of tests of each length (``|TS0| = 2N``).
+        base_seed: seed of the dedicated TS0 generator and ancestor of
+            every ``seed(I)``.
+        d1_values: the D1 values Procedure 2 tries, in preference order.
+        n_same_fc: Procedure 2's ``N_SAME_FC`` -- consecutive iterations
+            of ``I`` without improvement before giving up.
+        max_iterations: hard cap on ``I`` (safety net; the paper relies
+            on ``N_SAME_FC`` alone).
+        d2: maximum-shift modulus; ``None`` means the paper's
+            ``N_SV + 1``.
+        reseed_per_test: Procedure 1 as literally written re-seeds the
+            schedule RNG with ``seed(I)`` for every test; ``False`` uses
+            one continuous stream per test set (ablation knob).
+        rng_kind: ``'numpy'`` or ``'lfsr'`` (hardware-faithful).
+    """
+
+    la: int = 8
+    lb: int = 16
+    n: int = 64
+    base_seed: int = 20010618
+    d1_values: Tuple[int, ...] = D1_INCREASING
+    n_same_fc: int = 3
+    max_iterations: int = 60
+    d2: Optional[int] = None
+    reseed_per_test: bool = True
+    rng_kind: str = "numpy"
+
+    def __post_init__(self) -> None:
+        if self.la < 1 or self.lb < 1:
+            raise ValueError("test lengths must be positive")
+        if self.la >= self.lb:
+            raise ValueError(
+                f"the paper requires L_A < L_B, got {self.la} >= {self.lb}"
+            )
+        if self.n < 1:
+            raise ValueError("N must be positive")
+        if not self.d1_values or any(d < 1 for d in self.d1_values):
+            raise ValueError("D1 values must be positive")
+        if self.n_same_fc < 1:
+            raise ValueError("N_SAME_FC must be positive")
+        if self.d2 is not None and self.d2 < 1:
+            raise ValueError("D2 must be positive")
+
+    def with_lengths(self, la: int, lb: int, n: int) -> "BistConfig":
+        """A copy with different ``(L_A, L_B, N)`` (everything else kept)."""
+        return BistConfig(
+            la=la,
+            lb=lb,
+            n=n,
+            base_seed=self.base_seed,
+            d1_values=self.d1_values,
+            n_same_fc=self.n_same_fc,
+            max_iterations=self.max_iterations,
+            d2=self.d2,
+            reseed_per_test=self.reseed_per_test,
+            rng_kind=self.rng_kind,
+        )
+
+    def effective_d2(self, n_sv: int) -> int:
+        """The paper's ``D2 = N_SV + 1`` unless overridden."""
+        return self.d2 if self.d2 is not None else n_sv + 1
+
+    def seed_for_iteration(self, iteration: int) -> int:
+        """``seed(I)``: distinct, reproducible per-iteration seeds."""
+        return (self.base_seed * 0x9E3779B1 + iteration * 0x85EBCA77 + 1) & (
+            2**48 - 1
+        )

@@ -1,0 +1,56 @@
+"""The paper's clock-cycle cost model.
+
+Applying ``TS0`` costs
+
+    Ncyc0 = (2N + 1) * N_SV  +  N * (L_A + L_B)
+
+(the ``2N`` tests need ``2N + 1`` complete scan operations because the
+scan-out of one test overlaps the scan-in of the next, plus one vector
+clock per primary input vector; scan clock and functional clock are
+assumed to share a cycle time).  Applying ``TS(I, D1)`` additionally
+pays one cycle per limited-scan shift:
+
+    Ncyc(I, D1) = Ncyc0 + N_SH(I, D1)
+
+and the complete scheme pays
+
+    Ncyc_total = Ncyc0 + sum over selected pairs of Ncyc(I, D1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.faults.fault_sim import ScanTest
+
+
+def ncyc0(n_sv: int, la: int, lb: int, n: int) -> int:
+    """Clock cycles to apply the initial test set ``TS0``."""
+    if min(n_sv, la, lb, n) < 0:
+        raise ValueError("cost-model arguments must be non-negative")
+    return (2 * n + 1) * n_sv + n * (la + lb)
+
+
+def ncyc0_scaled(
+    n_sv: int, la: int, lb: int, n: int, scan_clock_ratio: float = 1.0
+) -> float:
+    """``Ncyc0`` with a slower/faster scan clock (the paper notes the
+    formula can be adjusted when the functional clock is faster)."""
+    if scan_clock_ratio <= 0:
+        raise ValueError("scan_clock_ratio must be positive")
+    return (2 * n + 1) * n_sv * scan_clock_ratio + n * (la + lb)
+
+
+def nsh(tests: Sequence[ScanTest]) -> int:
+    """``N_SH(I, D1)``: total limited-scan shift cycles of a test set."""
+    return sum(t.total_shift_cycles for t in tests)
+
+
+def ncyc_pair(base_ncyc0: int, pair_nsh: int) -> int:
+    """``Ncyc(I, D1) = Ncyc0 + N_SH(I, D1)``."""
+    return base_ncyc0 + pair_nsh
+
+
+def total_cycles(base_ncyc0: int, pair_nshs: Iterable[int]) -> int:
+    """``Ncyc_total``: TS0 once, plus every selected pair's application."""
+    return base_ncyc0 + sum(base_ncyc0 + s for s in pair_nshs)

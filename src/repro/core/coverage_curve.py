@@ -1,0 +1,150 @@
+"""Coverage-versus-cycles curves.
+
+The paper reports endpoint numbers (Tables 6-8); for analysis it is often
+more useful to see *how* coverage accumulates against the clock-cycle
+budget.  This module produces that series for the proposed scheme (TS0,
+then each selected ``TS(I, D1)`` application in order) and for the
+baselines, as plain data points suitable for any plotting tool (an
+offline-friendly CSV writer is included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.netlist import Circuit
+from repro.core.config import BistConfig
+from repro.core.limited_scan import build_limited_scan_test_set
+from repro.core.procedure2 import Procedure2Result
+from repro.core.test_set import generate_ts0
+from repro.faults.fault_sim import FaultSimulator
+from repro.faults.model import Fault
+
+
+@dataclass
+class CoverageCurve:
+    """A monotone series of (cycles, detected) checkpoints."""
+
+    label: str
+    points: List[Tuple[int, int]] = field(default_factory=list)
+    num_targets: int = 0
+
+    def add(self, cycles: int, detected: int) -> None:
+        if self.points and cycles < self.points[-1][0]:
+            raise ValueError("cycles must be non-decreasing")
+        self.points.append((cycles, detected))
+
+    @property
+    def final_coverage(self) -> float:
+        if not self.points or self.num_targets == 0:
+            return 0.0
+        return self.points[-1][1] / self.num_targets
+
+    def cycles_to_reach(self, coverage: float) -> Optional[int]:
+        """First checkpoint reaching ``coverage`` (0..1), or None."""
+        threshold = coverage * self.num_targets
+        for cycles, detected in self.points:
+            if detected >= threshold:
+                return cycles
+        return None
+
+    def as_csv(self) -> str:
+        lines = ["cycles,detected,coverage"]
+        for cycles, detected in self.points:
+            cov = detected / self.num_targets if self.num_targets else 0.0
+            lines.append(f"{cycles},{detected},{cov:.6f}")
+        return "\n".join(lines) + "\n"
+
+
+def proposed_scheme_curve(
+    circuit: Circuit,
+    result: Procedure2Result,
+    target_faults: Sequence[Fault],
+    simulator: Optional[FaultSimulator] = None,
+) -> CoverageCurve:
+    """Checkpoint after TS0 and after each selected pair's application.
+
+    Re-simulates the selected schedule in application order with fault
+    dropping, mirroring what the hardware would do.
+    """
+    simulator = simulator or FaultSimulator(circuit)
+    config = result.config
+    ts0 = generate_ts0(circuit, config)
+    n_sv = simulator.chain_length
+
+    curve = CoverageCurve(
+        label=f"{circuit.name} limited-scan", num_targets=len(target_faults)
+    )
+    remaining = list(target_faults)
+    hits = simulator.simulate_grouped(ts0, remaining)
+    remaining = [f for f in remaining if f not in hits]
+    detected = len(target_faults) - len(remaining)
+    cycles = result.ncyc0
+    curve.add(cycles, detected)
+
+    for pair in result.pairs:
+        ts = build_limited_scan_test_set(
+            ts0, pair.iteration, pair.d1, config, n_sv
+        )
+        hits = simulator.simulate_grouped(ts, remaining)
+        remaining = [f for f in remaining if f not in hits]
+        detected = len(target_faults) - len(remaining)
+        cycles += result.ncyc0 + pair.nsh
+        curve.add(cycles, detected)
+    return curve
+
+
+def single_vector_curve(
+    circuit: Circuit,
+    target_faults: Sequence[Fault],
+    cycle_budget: int,
+    checkpoints: int = 20,
+    seed: int = 20010618,
+    simulator: Optional[FaultSimulator] = None,
+) -> CoverageCurve:
+    """Classic single-vector random BIST, checkpointed over the budget."""
+    from repro.rpg.prng import make_source
+    from repro.faults.fault_sim import ScanTest
+
+    simulator = simulator or FaultSimulator(circuit)
+    n_sv = circuit.num_state_vars
+    n_pi = circuit.num_inputs
+    per_test = n_sv + 1
+    max_tests = max(0, (cycle_budget - n_sv) // per_test)
+    step = max(1, max_tests // checkpoints)
+    source = make_source(seed)
+
+    curve = CoverageCurve(
+        label=f"{circuit.name} single-vector", num_targets=len(target_faults)
+    )
+    remaining = list(target_faults)
+    applied = 0
+    while applied < max_tests:
+        count = min(step, max_tests - applied)
+        tests = [
+            ScanTest(si=source.bits(n_sv), vectors=[source.bits(n_pi)])
+            for _ in range(count)
+        ]
+        hits = simulator.simulate_grouped(tests, remaining)
+        remaining = [f for f in remaining if f not in hits]
+        applied += count
+        curve.add(
+            applied * per_test + n_sv, len(target_faults) - len(remaining)
+        )
+        if not remaining:
+            break
+    return curve
+
+
+def write_curves_csv(
+    curves: Sequence[CoverageCurve], path: Union[str, Path]
+) -> None:
+    """All curves into one CSV with a ``label`` column."""
+    lines = ["label,cycles,detected,coverage"]
+    for curve in curves:
+        for cycles, detected in curve.points:
+            cov = detected / curve.num_targets if curve.num_targets else 0.0
+            lines.append(f"{curve.label},{cycles},{detected},{cov:.6f}")
+    Path(path).write_text("\n".join(lines) + "\n")

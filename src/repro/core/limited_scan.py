@@ -1,0 +1,88 @@
+"""Procedure 1: random insertion of limited scan operations.
+
+Given the initial test set ``TS0`` and a pair ``(I, D1)``, every test
+``tau_i`` acquires a limited-scan schedule: at each interior time unit
+``0 < u < L_i`` a draw ``r1`` inserts a limited scan operation iff
+``r1 mod D1 == 0`` (probability ``1/D1``); the shift amount is
+``r2 mod D2`` with ``D2 = N_SV + 1``, spanning "no scan" (0) through a
+complete scan operation (``N_SV``); the bits scanned in on the left come
+from the same stream.
+
+The schedule RNG is seeded with ``seed(I)``.  As literally written in
+the paper the generator is re-initialized for **every test**
+(``reseed_per_test=True``); the one-stream variant is available as an
+ablation.  Note ``D1`` intentionally does not enter the seed: the same
+draw sequence thresholded by different ``D1`` values is exactly what a
+hardware implementation comparing LFSR digits against a stored constant
+would produce.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.config import BistConfig
+from repro.faults.fault_sim import ScanTest, ScheduleStep
+from repro.rpg.prng import RandomSource, make_source
+
+
+def schedule_for_test(
+    source: RandomSource, length: int, d1: int, d2: int
+) -> List[ScheduleStep]:
+    """Draw the limited-scan schedule for one test of ``length`` vectors.
+
+    Returns one ``(shift, fill_bits)`` step per time unit; time unit 0 is
+    always ``(0, ())`` -- the state was just scanned in.
+    """
+    if d1 < 1:
+        raise ValueError("D1 must be >= 1")
+    if d2 < 1:
+        raise ValueError("D2 must be >= 1")
+    steps: List[ScheduleStep] = [(0, ())]
+    for _u in range(1, length):
+        r1 = source.draw()
+        if r1 % d1 == 0:
+            r2 = source.draw()
+            shift = r2 % d2
+            fill = tuple(source.bits(shift)) if shift else ()
+            steps.append((shift, fill))
+        else:
+            steps.append((0, ()))
+    return steps
+
+
+def build_limited_scan_test_set(
+    ts0: Sequence[ScanTest],
+    iteration: int,
+    d1: int,
+    config: BistConfig,
+    n_sv: int,
+) -> List[ScanTest]:
+    """Procedure 1: the test set ``TS(I, D1)`` derived from ``ts0``.
+
+    Every returned test is identical to the corresponding ``TS0`` test
+    except for its limited-scan schedule.
+    """
+    d2 = config.effective_d2(n_sv)
+    seed = config.seed_for_iteration(iteration)
+    source = make_source(seed, config.rng_kind)
+    tests: List[ScanTest] = []
+    for test in ts0:
+        if config.reseed_per_test:
+            source = make_source(seed, config.rng_kind)
+        schedule = schedule_for_test(source, test.length, d1, d2)
+        tests.append(
+            ScanTest(si=list(test.si), vectors=[list(v) for v in test.vectors],
+                     schedule=schedule)
+        )
+    return tests
+
+
+def limited_scan_time_units(tests: Sequence[ScanTest]) -> int:
+    """Number of time units with ``shift > 0`` (the ``n_ls`` numerator)."""
+    return sum(t.num_limited_scans for t in tests)
+
+
+def shift_cycles(tests: Sequence[ScanTest]) -> int:
+    """Total shift cycles ``N_SH`` contributed by the schedules."""
+    return sum(t.total_shift_cycles for t in tests)

@@ -1,0 +1,47 @@
+"""Reporting metrics and the paper's number formatting.
+
+Table 6/7/8 report cycles as ``2.6K``, ``1.2M`` etc.; this module
+provides that rendering plus coverage helpers shared by experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def human_cycles(cycles: Optional[int]) -> str:
+    """Render a cycle count the way the paper's tables do.
+
+    <1000 exact; thousands as ``x.yK`` (three significant-ish digits as in
+    the paper: ``2.6K``, ``25.4K``, ``316K``); millions as ``x.yM``.
+    """
+    if cycles is None:
+        return ""
+    if cycles < 1000:
+        return str(cycles)
+    if cycles < 100_000:
+        return f"{cycles / 1000:.1f}K"
+    if cycles < 1_000_000:
+        return f"{cycles / 1000:.0f}K"
+    return f"{cycles / 1_000_000:.1f}M"
+
+
+def coverage_percent(detected: int, total: int) -> float:
+    """Fault coverage in percent (100.0 when there is nothing to detect)."""
+    if total == 0:
+        return 100.0
+    return 100.0 * detected / total
+
+
+def ls_to_run_length(ls_average: Optional[float]) -> Optional[float]:
+    """The paper's reading of ``ls``: with ``ls = 0.5`` a limited scan
+    occurs every ``1/0.5 = 2`` time units, i.e. primary input sequences of
+    average length 2 run at speed between scan operations."""
+    if ls_average is None or ls_average == 0:
+        return None
+    return 1.0 / ls_average
+
+
+def format_optional(value, fmt: str = "{:.2f}", empty: str = "") -> str:
+    """Render ``value`` with ``fmt``, or ``empty`` when it is ``None``."""
+    return empty if value is None else fmt.format(value)

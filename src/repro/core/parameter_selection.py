@@ -1,0 +1,64 @@
+"""Selection of ``(L_A, L_B, N)`` by increasing ``Ncyc0`` (Table 5).
+
+The paper explores ``L_A in {8,16,32,64,128,256}``, ``L_B in
+{16,32,64,128,256}`` and ``N in {64,128,256}`` with ``L_A < L_B``, orders
+the combinations by the cost of the initial test set, and runs
+Procedure 2 on them in that order until one achieves complete fault
+coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.cost import ncyc0
+
+#: The paper's candidate values.
+LA_CHOICES: Tuple[int, ...] = (8, 16, 32, 64, 128, 256)
+LB_CHOICES: Tuple[int, ...] = (16, 32, 64, 128, 256)
+N_CHOICES: Tuple[int, ...] = (64, 128, 256)
+
+
+@dataclass(frozen=True)
+class ParameterCombo:
+    """One ``(L_A, L_B, N)`` candidate with its initial-test-set cost."""
+
+    la: int
+    lb: int
+    n: int
+    ncyc0: int
+
+    def label(self) -> str:
+        return f"{self.la},{self.lb},{self.n}"
+
+
+def enumerate_combinations(
+    n_sv: int,
+    la_choices: Sequence[int] = LA_CHOICES,
+    lb_choices: Sequence[int] = LB_CHOICES,
+    n_choices: Sequence[int] = N_CHOICES,
+) -> List[ParameterCombo]:
+    """All ``L_A < L_B`` combinations, sorted by increasing ``Ncyc0``.
+
+    Ties are broken by ``(N, L_B, L_A)`` so the order is deterministic.
+    """
+    combos = [
+        ParameterCombo(la=la, lb=lb, n=n, ncyc0=ncyc0(n_sv, la, lb, n))
+        for n in n_choices
+        for lb in lb_choices
+        for la in la_choices
+        if la < lb
+    ]
+    combos.sort(key=lambda c: (c.ncyc0, c.n, c.lb, c.la))
+    return combos
+
+
+def first_combinations(n_sv: int, k: int = 10) -> List[ParameterCombo]:
+    """The first ``k`` combinations by increasing ``Ncyc0`` (Table 5)."""
+    return enumerate_combinations(n_sv)[:k]
+
+
+def combos_in_search_order(n_sv: int) -> Iterator[ParameterCombo]:
+    """The order in which Procedure 2 tries combinations (cheapest first)."""
+    yield from enumerate_combinations(n_sv)

@@ -1,0 +1,177 @@
+"""Procedure 2: greedy selection of ``(I, D1)`` pairs.
+
+Starting from ``TS0``, iterate ``I = 1, 2, ...``; for each ``I`` try the
+configured ``D1`` values in preference order, fault-simulate
+``TS(I, D1)`` against the remaining target faults with dropping, and keep
+the pair iff it detects something new.  Terminate at 100% coverage of the
+target faults or after ``N_SAME_FC`` consecutive iterations of ``I``
+without improvement (plus a hard ``max_iterations`` safety cap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.core.config import BistConfig
+from repro.core.cost import ncyc0 as ncyc0_formula
+from repro.core.cost import total_cycles
+from repro.core.limited_scan import build_limited_scan_test_set
+from repro.core.test_set import generate_ts0, total_vectors
+from repro.faults.fault_sim import (
+    DetectionRecord,
+    FaultSimulator,
+    ObservationPolicy,
+    ScanTest,
+)
+from repro.faults.model import Fault
+
+
+@dataclass
+class PairResult:
+    """One selected ``(I, D1)`` pair and its contribution."""
+
+    iteration: int
+    d1: int
+    newly_detected: int
+    nsh: int  # limited-scan shift cycles of TS(I, D1)
+    ls_time_units: int  # time units with shift > 0 (the n_ls numerator)
+    total_time_units: int  # sum of test lengths (the n_ls denominator part)
+
+
+@dataclass
+class Procedure2Result:
+    """Everything the paper reports per circuit, plus bookkeeping."""
+
+    circuit_name: str
+    config: BistConfig
+    n_sv: int
+    num_targets: int
+    ts0_detected: int = 0
+    pairs: List[PairResult] = field(default_factory=list)
+    complete: bool = False
+    iterations_run: int = 0
+    remaining_faults: List[Fault] = field(default_factory=list)
+    detections: Dict[Fault, DetectionRecord] = field(default_factory=dict)
+
+    # ---- the paper's reported metrics ---------------------------------
+    @property
+    def ncyc0(self) -> int:
+        """Clock cycles for the initial test set (Table 6 'cycles')."""
+        cfg = self.config
+        return ncyc0_formula(self.n_sv, cfg.la, cfg.lb, cfg.n)
+
+    @property
+    def app(self) -> int:
+        """Number of test sets applied with limited scan operations."""
+        return len(self.pairs)
+
+    @property
+    def det_initial(self) -> int:
+        return self.ts0_detected
+
+    @property
+    def det_total(self) -> int:
+        return self.ts0_detected + sum(p.newly_detected for p in self.pairs)
+
+    @property
+    def ncyc_total(self) -> int:
+        """Clock cycles for TS0 plus every selected ``TS(I, D1)``."""
+        return total_cycles(self.ncyc0, [p.nsh for p in self.pairs])
+
+    @property
+    def ls_average(self) -> Optional[float]:
+        """The paper's ``ls``: limited-scan time units per time unit,
+        averaged over all selected test sets (``TS0`` excluded)."""
+        denom = sum(p.total_time_units for p in self.pairs)
+        if denom == 0:
+            return None
+        return sum(p.ls_time_units for p in self.pairs) / denom
+
+    @property
+    def fault_coverage(self) -> float:
+        if self.num_targets == 0:
+            return 1.0
+        return self.det_total / self.num_targets
+
+    def summary(self) -> str:
+        ls = f"{self.ls_average:.2f}" if self.ls_average is not None else "-"
+        return (
+            f"{self.circuit_name}: initial {self.ts0_detected}/{self.num_targets}"
+            f" ({self.ncyc0} cycles); +{self.app} limited-scan sets ->"
+            f" {self.det_total}/{self.num_targets}"
+            f" ({self.ncyc_total} cycles, ls={ls},"
+            f" {'complete' if self.complete else 'INCOMPLETE'})"
+        )
+
+
+def run_procedure2(
+    circuit: Circuit,
+    config: BistConfig,
+    target_faults: Sequence[Fault],
+    simulator: Optional[FaultSimulator] = None,
+    policy: Optional[ObservationPolicy] = None,
+    ts0: Optional[List[ScanTest]] = None,
+) -> Procedure2Result:
+    """Run Procedure 2 for ``circuit`` under ``config``.
+
+    ``target_faults`` should be the *detectable* collapsed faults (from
+    :func:`repro.atpg.classify_faults`); including undetectable faults
+    simply makes 100% coverage unreachable, which is reported as an
+    incomplete run, never an error.
+    """
+    simulator = simulator or FaultSimulator(circuit)
+    ts0 = ts0 if ts0 is not None else generate_ts0(circuit, config)
+    # Under partial scan the chain length plays the role of N_SV in both
+    # the cost model and Procedure 1's D2; under full scan they coincide.
+    n_sv = simulator.chain_length
+
+    result = Procedure2Result(
+        circuit_name=circuit.name,
+        config=config,
+        n_sv=n_sv,
+        num_targets=len(target_faults),
+    )
+
+    remaining: List[Fault] = list(target_faults)
+    ts0_hits = simulator.simulate_grouped(ts0, remaining, policy)
+    result.detections.update(ts0_hits)
+    result.ts0_detected = len(ts0_hits)
+    remaining = [f for f in remaining if f not in ts0_hits]
+    if not remaining:
+        result.complete = True
+        return result
+
+    iteration = 0
+    n_same_fc = 0
+    while n_same_fc < config.n_same_fc and iteration < config.max_iterations:
+        iteration += 1
+        improved = False
+        for d1 in config.d1_values:
+            ts = build_limited_scan_test_set(ts0, iteration, d1, config, n_sv)
+            hits = simulator.simulate_grouped(ts, remaining, policy)
+            if hits:
+                result.detections.update(hits)
+                result.pairs.append(
+                    PairResult(
+                        iteration=iteration,
+                        d1=d1,
+                        newly_detected=len(hits),
+                        nsh=sum(t.total_shift_cycles for t in ts),
+                        ls_time_units=sum(t.num_limited_scans for t in ts),
+                        total_time_units=total_vectors(ts),
+                    )
+                )
+                remaining = [f for f in remaining if f not in hits]
+                improved = True
+            if not remaining:
+                break
+        if not remaining:
+            break
+        n_same_fc = 0 if improved else n_same_fc + 1
+
+    result.iterations_run = iteration
+    result.remaining_faults = remaining
+    result.complete = not remaining
+    return result

@@ -1,0 +1,108 @@
+"""At-speed run-length analysis.
+
+The paper summarizes how "at-speed" a test set is with the scalar ``ls``
+(average limited-scan time units): ``ls = 0.5`` means a scan operation
+every 2 time units on average.  This module computes the underlying
+*distribution*: the lengths of the maximal primary-input runs applied
+at speed between (complete or limited) scan operations.  It validates
+the paper's reading of ``ls`` (mean run length ~ ``1/ls``) and exposes
+the tail (long at-speed bursts) that the scalar hides.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.faults.fault_sim import ScanTest
+
+
+@dataclass
+class RunLengthStats:
+    """Distribution of at-speed run lengths over a test set."""
+
+    histogram: Dict[int, int]  # run length -> count
+    num_runs: int
+    total_time_units: int
+    ls_time_units: int  # time units with shift > 0
+
+    @property
+    def mean(self) -> float:
+        if self.num_runs == 0:
+            return 0.0
+        return (
+            sum(length * count for length, count in self.histogram.items())
+            / self.num_runs
+        )
+
+    @property
+    def maximum(self) -> int:
+        return max(self.histogram, default=0)
+
+    @property
+    def ls_average(self) -> float:
+        """The paper's ``ls`` for this test set."""
+        if self.total_time_units == 0:
+            return 0.0
+        return self.ls_time_units / self.total_time_units
+
+    def percentile(self, p: float) -> int:
+        """Run length at percentile ``p`` (0..100)."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.num_runs == 0:
+            return 0
+        target = self.num_runs * p / 100.0
+        seen = 0
+        for length in sorted(self.histogram):
+            seen += self.histogram[length]
+            if seen >= target:
+                return length
+        return self.maximum
+
+    def summary(self) -> str:
+        return (
+            f"{self.num_runs} at-speed runs: mean {self.mean:.2f}, "
+            f"p50 {self.percentile(50)}, p90 {self.percentile(90)}, "
+            f"max {self.maximum} (ls = {self.ls_average:.2f})"
+        )
+
+
+def run_lengths_of_test(test: ScanTest) -> List[int]:
+    """Maximal at-speed runs of one test.
+
+    The test starts right after a complete scan-in and ends at a complete
+    scan-out, so runs are delimited by the test boundaries and by the
+    time units where ``shift > 0``.  The vector at a limited-scan time
+    unit starts the next run (it is applied after the shift).
+    """
+    runs: List[int] = []
+    current = 0
+    for u in range(test.length):
+        k, _fill = test.step(u)
+        if k > 0 and current:
+            runs.append(current)
+            current = 0
+        current += 1
+    if current:
+        runs.append(current)
+    return runs
+
+
+def analyze_run_lengths(tests: Sequence[ScanTest]) -> RunLengthStats:
+    """Run-length distribution over a whole test set."""
+    histogram: Counter = Counter()
+    total_units = 0
+    ls_units = 0
+    for test in tests:
+        for run in run_lengths_of_test(test):
+            histogram[run] += 1
+        total_units += test.length
+        ls_units += test.num_limited_scans
+    return RunLengthStats(
+        histogram=dict(histogram),
+        num_runs=sum(histogram.values()),
+        total_time_units=total_units,
+        ls_time_units=ls_units,
+    )

@@ -1,0 +1,286 @@
+"""Limited scan for test-application-time reduction (refs [7]-[11]).
+
+The paper's introduction situates its contribution against earlier work
+where limited scan operations *reduce the test application time of a
+deterministic test set* (primary input sequences of length one).  The
+idea: between consecutive tests the chain already holds the captured
+response of the previous test; if the next test's scan-in state can be
+obtained by shifting that response by ``k < N_SV`` positions (scanning
+``k`` fresh bits in), the full ``N_SV``-cycle scan is unnecessary.
+
+This module reproduces that technique:
+
+- :func:`minimal_shift` -- the smallest ``k`` turning a response into a
+  target state,
+- :func:`plan_overlap` -- greedy nearest-neighbour test ordering that
+  maximizes overlap,
+- :func:`build_session` -- the whole ordered test set as **one**
+  :class:`ScanTest` whose limited-scan schedule realizes the plan, so the
+  existing fault simulator verifies the coverage of the optimized
+  session,
+- :func:`overlap_experiment` -- end-to-end: generate a deterministic
+  test set, optimize, verify coverage, report the TAT saving.
+
+Verification matters because partial scan-in observes only ``k`` of the
+previous response's bits; coverage of the optimized session is
+fault-simulated, never assumed (observation through later tests usually
+recovers it -- the experiment quantifies this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.netlist import Circuit
+from repro.faults.fault_sim import FaultSimulator, ScanTest
+from repro.faults.model import Fault, FaultGraph
+from repro.simulation.compiled import CompiledModel
+from repro.simulation.sequential import simulate_test
+
+
+def minimal_shift(response: Sequence[int], target: Sequence[int]) -> int:
+    """Smallest ``k`` such that shifting ``response`` right by ``k`` (with
+    the right fill bits) yields ``target``: requires
+    ``target[k:] == response[:n-k]``.  ``k = n`` (full scan) always works.
+    """
+    n = len(response)
+    if len(target) != n:
+        raise ValueError("response/target length mismatch")
+    for k in range(n + 1):
+        if list(target[k:]) == list(response[: n - k]):
+            return k
+    raise AssertionError("k = n must always match")  # pragma: no cover
+
+
+def fill_bits_for(target: Sequence[int], k: int) -> Tuple[int, ...]:
+    """The ``k`` bits to scan in: the first bit scanned ends deepest, so
+    the fill sequence is ``target[:k]`` reversed."""
+    return tuple(reversed(list(target[:k])))
+
+
+@dataclass
+class OverlapPlan:
+    """An ordered test session with per-transition shift amounts."""
+
+    order: List[int]  # indices into the original test list
+    shifts: List[int]  # shifts[i]: scan cycles before ordered test i
+    n_sv: int
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.order)
+
+    def optimized_cycles(self) -> int:
+        """Scan-in shifts + one functional cycle per test + final scan-out."""
+        return sum(self.shifts) + self.num_tests + self.n_sv
+
+    def full_scan_cycles(self) -> int:
+        """The conventional cost: overlapped complete scans."""
+        return (self.num_tests + 1) * self.n_sv + self.num_tests
+
+    def saving(self) -> float:
+        full = self.full_scan_cycles()
+        return 1.0 - self.optimized_cycles() / full if full else 0.0
+
+
+def plan_overlap(
+    tests: Sequence[ScanTest],
+    responses: Sequence[Sequence[int]],
+    greedy_order: bool = True,
+) -> OverlapPlan:
+    """Order tests to maximize scan overlap.
+
+    ``responses[i]`` is the fault-free captured state of test ``i``.
+    Greedy nearest neighbour: start from test 0, repeatedly append the
+    unvisited test whose scan-in needs the fewest shifts from the
+    current response.  ``greedy_order=False`` keeps the original order
+    (still exploiting whatever overlap happens to exist).
+    """
+    if len(tests) != len(responses):
+        raise ValueError("need one response per test")
+    n = len(tests)
+    if n == 0:
+        return OverlapPlan(order=[], shifts=[], n_sv=0)
+    n_sv = len(tests[0].si)
+
+    if not greedy_order:
+        order = list(range(n))
+    else:
+        order = [0]
+        visited = {0}
+        while len(order) < n:
+            current_resp = responses[order[-1]]
+            best, best_k = None, n_sv + 1
+            for j in range(n):
+                if j in visited:
+                    continue
+                k = minimal_shift(current_resp, tests[j].si)
+                if k < best_k:
+                    best, best_k = j, k
+                    if k == 0:
+                        break
+            order.append(best)
+            visited.add(best)
+
+    shifts = [n_sv]  # the first test needs a complete scan-in
+    for prev, curr in zip(order, order[1:]):
+        shifts.append(minimal_shift(responses[prev], tests[curr].si))
+    return OverlapPlan(order=order, shifts=shifts, n_sv=n_sv)
+
+
+def build_session(
+    tests: Sequence[ScanTest], plan: OverlapPlan
+) -> ScanTest:
+    """Realize a plan as a single multi-vector :class:`ScanTest`.
+
+    The session starts with a complete scan-in of the first test's state
+    (the plan's leading ``n_sv`` shift is the ordinary scan-in, so the
+    session's schedule holds the *remaining* transitions).
+    """
+    if plan.num_tests == 0:
+        raise ValueError("empty plan")
+    first = tests[plan.order[0]]
+    vectors: List[List[int]] = [list(first.vectors[0])]
+    schedule: List[Tuple[int, Tuple[int, ...]]] = [(0, ())]
+    for idx, k in zip(plan.order[1:], plan.shifts[1:]):
+        test = tests[idx]
+        schedule.append((k, fill_bits_for(test.si, k)))
+        vectors.append(list(test.vectors[0]))
+    return ScanTest(si=list(first.si), vectors=vectors, schedule=schedule)
+
+
+@dataclass
+class OverlapOutcome:
+    plan: OverlapPlan
+    session: ScanTest
+    baseline_detected: int
+    optimized_detected: int
+    num_targets: int
+    repaired_transitions: int = 0
+
+    def summary(self) -> str:
+        repair = (
+            f", {self.repaired_transitions} transitions reverted"
+            if self.repaired_transitions
+            else ""
+        )
+        return (
+            f"{self.plan.num_tests} tests: full-scan TAT "
+            f"{self.plan.full_scan_cycles()} cycles -> optimized "
+            f"{self.plan.optimized_cycles()} cycles "
+            f"({100 * self.plan.saving():.0f}% saved); coverage "
+            f"{self.baseline_detected} -> {self.optimized_detected} "
+            f"of {self.num_targets}{repair}"
+        )
+
+
+def _repair_plan(
+    plan: OverlapPlan,
+    tests: Sequence[ScanTest],
+    simulator: FaultSimulator,
+    targets: Sequence[Fault],
+    baseline_records,
+) -> Tuple[OverlapPlan, ScanTest, int, int]:
+    """Revert overlapped transitions to complete scans until the session
+    recovers the baseline coverage.
+
+    Attribution-guided: a lost fault was detected by some test ``t`` in
+    the conventional set; the transition *after* ``t`` in the session is
+    the one whose partial scan hides ``t``'s response (and the one before
+    perturbs its state), so those are reverted first.  Remaining
+    overlapped transitions are swept cheapest-first as a fallback.
+    """
+    baseline = len(baseline_records)
+    position = {test_idx: pos for pos, test_idx in enumerate(plan.order)}
+    shifts = list(plan.shifts)
+    reverted = 0
+    session = build_session(tests, plan)
+    optimized = simulator.simulate_grouped([session], targets)
+    detected = len(optimized)
+
+    def candidates_for(lost_faults) -> List[int]:
+        ranked: List[int] = []
+        for fault in lost_faults:
+            rec = baseline_records.get(fault)
+            if rec is None:
+                continue
+            pos = position.get(rec.test_index)
+            if pos is None:
+                continue
+            for i in (pos + 1, pos):
+                if 1 <= i < len(shifts) and shifts[i] < plan.n_sv:
+                    if i not in ranked:
+                        ranked.append(i)
+        # Fallback sweep over whatever is left, cheapest overlap first.
+        rest = sorted(
+            (
+                i
+                for i in range(1, len(shifts))
+                if shifts[i] < plan.n_sv and i not in ranked
+            ),
+            key=lambda i: shifts[i],
+        )
+        return ranked + rest
+
+    lost = [f for f in baseline_records if f not in optimized]
+    for i in candidates_for(lost):
+        if detected >= baseline:
+            break
+        if shifts[i] == plan.n_sv:
+            continue
+        shifts[i] = plan.n_sv
+        reverted += 1
+        repaired = OverlapPlan(order=plan.order, shifts=shifts, n_sv=plan.n_sv)
+        session = build_session(tests, repaired)
+        detected = len(simulator.simulate_grouped([session], targets))
+    final_plan = OverlapPlan(order=plan.order, shifts=shifts, n_sv=plan.n_sv)
+    return final_plan, session, detected, reverted
+
+
+def overlap_experiment(
+    circuit_or_graph: Union[Circuit, FaultGraph],
+    target_faults: Optional[Sequence[Fault]] = None,
+    greedy_order: bool = True,
+    repair: bool = False,
+    seed: int = 20010618,
+) -> OverlapOutcome:
+    """The full [7]-[11]-style flow on one circuit."""
+    from repro.atpg.test_generation import generate_deterministic_tests
+
+    if isinstance(circuit_or_graph, FaultGraph):
+        graph = circuit_or_graph
+    else:
+        graph = FaultGraph(circuit_or_graph)
+    simulator = FaultSimulator(graph)
+
+    det = generate_deterministic_tests(graph, faults=target_faults, seed=seed)
+    targets = det.covered if target_faults is None else list(target_faults)
+
+    # Fault-free responses for planning.
+    responses = []
+    for test in det.tests:
+        trace = simulate_test(graph.model, test.si, test.vectors)
+        responses.append([int(b) for b in trace.states[-1]])
+
+    plan = plan_overlap(det.tests, responses, greedy_order=greedy_order)
+    session = build_session(det.tests, plan)
+
+    baseline = simulator.simulate_grouped(det.tests, targets)
+    optimized = simulator.simulate_grouped([session], targets)
+    reverted = 0
+    if repair and len(optimized) < len(baseline):
+        plan, session, detected, reverted = _repair_plan(
+            plan, det.tests, simulator, targets, baseline
+        )
+        optimized_count = detected
+    else:
+        optimized_count = len(optimized)
+    return OverlapOutcome(
+        plan=plan,
+        session=session,
+        baseline_detected=len(baseline),
+        optimized_detected=optimized_count,
+        num_targets=len(targets),
+        repaired_transitions=reverted,
+    )

@@ -1,0 +1,214 @@
+"""Test point insertion (the paper's Section 1 alternative).
+
+When random patterns leave faults undetected, the classical structural
+remedy is to insert test points:
+
+- an **observation point** taps a poorly observable net to an extra
+  pseudo primary output (here: an extra scanned flip-flop, the usual
+  full-scan realization),
+- a **control point** ANDs (control-to-0) or ORs (control-to-1) a poorly
+  controllable net with a dedicated test-enable primary input.
+
+Selection is SCOAP-guided: the nets with the worst
+observability/controllability among the undetected faults' sites are
+fixed first.  The experiments compare this remedy's coverage gain and
+hardware cost against the paper's limited-scan approach, which needs no
+netlist change at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.atpg.scoap import INFINITY, ScoapResult, compute_scoap
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+
+
+@dataclass(frozen=True)
+class TestPoint:
+    """One inserted test point."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    kind: str  # 'observe', 'control0', or 'control1'
+    net: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.net})"
+
+
+@dataclass
+class TestPointPlan:
+    """A selection of test points and the instrumented circuit."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    points: List[TestPoint]
+    circuit: Circuit  # the instrumented copy
+
+    @property
+    def num_observe(self) -> int:
+        return sum(1 for p in self.points if p.kind == "observe")
+
+    @property
+    def num_control(self) -> int:
+        return sum(1 for p in self.points if p.kind.startswith("control"))
+
+    @property
+    def extra_flops(self) -> int:
+        return self.num_observe
+
+    @property
+    def extra_inputs(self) -> int:
+        return 1 if self.num_control else 0
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.points)} test points "
+            f"({self.num_observe} observe, {self.num_control} control): "
+            f"+{self.extra_flops} flops, +{self.extra_inputs} inputs, "
+            f"+{self.num_control} gates"
+        )
+
+
+def select_test_points(
+    circuit: Circuit,
+    hard_faults: Sequence[Fault],
+    max_points: int = 8,
+    scoap: Optional[ScoapResult] = None,
+) -> List[TestPoint]:
+    """SCOAP-guided selection targeting ``hard_faults``.
+
+    For each hard fault, whichever of its activation-controllability or
+    observability cost dominates decides the point kind; candidates are
+    ranked by that cost and deduplicated per net.
+    """
+    scoap = scoap or compute_scoap(circuit)
+    candidates: List[Tuple[int, TestPoint]] = []
+    for fault in hard_faults:
+        net = fault.site
+        obs = scoap.co[net]
+        ctrl = scoap.controllability(net, 1 - fault.value)
+        if obs >= ctrl:
+            candidates.append((obs, TestPoint(kind="observe", net=net)))
+            continue
+        # Activation-limited.  A control point must NOT sit on the fault
+        # site itself (it would mask the fault); it goes on the driving
+        # gate's inputs, making the activation value likely.
+        gate = circuit.gate_for(net)
+        if gate is None:
+            continue  # PIs / flop outputs are directly controllable
+        want = 1 - fault.value  # value the site must take
+        base = gate.gtype.base
+        # Value the gate's core (pre-inversion) function must produce.
+        core_needed = want ^ gate.gtype.inversion_parity
+        if base is GateType.AND and core_needed == 1:
+            all_inputs, in_value = True, 1
+        elif base is GateType.AND:
+            all_inputs, in_value = False, 0
+        elif base is GateType.OR and core_needed == 0:
+            all_inputs, in_value = True, 0
+        elif base is GateType.OR:
+            all_inputs, in_value = False, 1
+        else:  # BUF/NOT/XOR: one input with the core value (XOR approx.)
+            all_inputs, in_value = False, core_needed
+        kind = "control1" if in_value else "control0"
+        if all_inputs:
+            for src in gate.inputs:
+                cost = scoap.controllability(src, in_value)
+                candidates.append((cost, TestPoint(kind=kind, net=src)))
+        else:
+            src = min(
+                gate.inputs,
+                key=lambda s: scoap.controllability(s, in_value),
+            )
+            candidates.append(
+                (
+                    scoap.controllability(src, in_value),
+                    TestPoint(kind=kind, net=src),
+                )
+            )
+    candidates.sort(key=lambda c: -min(c[0], INFINITY))
+    chosen: List[TestPoint] = []
+    seen_nets = set()
+    for _cost, point in candidates:
+        if point.net in seen_nets:
+            continue
+        seen_nets.add(point.net)
+        chosen.append(point)
+        if len(chosen) >= max_points:
+            break
+    return chosen
+
+
+def insert_test_points(
+    circuit: Circuit,
+    points: Sequence[TestPoint],
+    test_enable: str = "TEN",
+) -> Circuit:
+    """Return an instrumented copy of ``circuit``.
+
+    Observation points become extra scanned flip-flops (appended at the
+    scan-out end of the chain).  Control points rewrite every consumer of
+    the net to read a gated version: ``net AND NOT TEN`` (control-to-0)
+    or ``net OR TEN`` (control-to-1) -- with ``TEN = 0`` the circuit is
+    functionally unchanged.
+    """
+    control_points = [p for p in points if p.kind.startswith("control")]
+    observe_points = [p for p in points if p.kind == "observe"]
+
+    out = Circuit(f"{circuit.name}+tp")
+    for net in circuit.inputs:
+        out.add_input(net)
+    if control_points:
+        out.add_input(test_enable)
+    for net in circuit.outputs:
+        out.add_output(net)
+
+    gated = {}
+    for i, point in enumerate(control_points):
+        name = f"{point.net}$cp{i}"
+        if point.kind == "control1":
+            out.add_gate(name, GateType.OR, [point.net, test_enable])
+        else:
+            out.add_gate(f"{name}$n", GateType.NOT, [test_enable])
+            out.add_gate(name, GateType.AND, [point.net, f"{name}$n"])
+        gated[point.net] = name
+
+    def feed(src: str) -> str:
+        return gated.get(src, src)
+
+    for flop in circuit.flops:
+        out.add_flop(flop.q, feed(flop.d))
+    for gate in circuit.iter_gates():
+        out.add_gate(
+            gate.output, gate.gtype, [feed(s) for s in gate.inputs]
+        )
+    # Observation flops appended after the original chain.
+    for i, point in enumerate(observe_points):
+        out.add_flop(f"op{i}$q", feed(point.net))
+    return out
+
+
+def plan_test_points(
+    circuit: Circuit,
+    hard_faults: Sequence[Fault],
+    max_points: int = 8,
+) -> TestPointPlan:
+    points = select_test_points(circuit, hard_faults, max_points)
+    return TestPointPlan(
+        points=points, circuit=insert_test_points(circuit, points)
+    )
+
+
+def map_fault(fault: Fault) -> Fault:
+    """Faults of the original circuit are valid in the instrumented one
+    (stems keep their names; gated consumers read new nets but the stem
+    still exists).  Branch faults whose consumer was rewired are mapped
+    onto the stem conservatively."""
+    if fault.is_branch:
+        return Fault(site=fault.site, value=fault.value)
+    return fault

@@ -1,0 +1,51 @@
+"""Generation of the initial random test set ``TS0``.
+
+``TS0 = {tau_1 .. tau_N, tau_{N+1} .. tau_{2N}}``: ``N`` tests of length
+``L_A`` followed by ``N`` tests of length ``L_B``.  For each test, the
+scan-in state ``SI_i`` and the vectors of ``T_i`` are drawn from one
+dedicated generator initialized with a fixed seed, so the identical
+``TS0`` can be re-generated any number of times -- the property the
+paper's Procedure 1 relies on (``TS(I, D1)`` replays ``TS0`` with scan
+operations spliced in).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.netlist import Circuit
+from repro.core.config import BistConfig
+from repro.faults.fault_sim import ScanTest
+from repro.rpg.prng import RandomSource, make_source
+
+
+def draw_test(
+    source: RandomSource, n_sv: int, n_pi: int, length: int
+) -> ScanTest:
+    """Draw one test: ``SI`` first, then the ``length`` vectors of ``T``."""
+    si = source.bits(n_sv)
+    vectors = [source.bits(n_pi) for _ in range(length)]
+    return ScanTest(si=si, vectors=vectors)
+
+
+def generate_ts0(circuit: Circuit, config: BistConfig) -> List[ScanTest]:
+    """The initial test set for ``circuit`` under ``config``.
+
+    Deterministic: the same circuit interface and config always produce
+    the same tests.
+    """
+    source = make_source(config.base_seed, config.rng_kind)
+    n_sv = circuit.num_state_vars
+    n_pi = circuit.num_inputs
+    tests = [
+        draw_test(source, n_sv, n_pi, config.la) for _ in range(config.n)
+    ]
+    tests += [
+        draw_test(source, n_sv, n_pi, config.lb) for _ in range(config.n)
+    ]
+    return tests
+
+
+def total_vectors(tests: List[ScanTest]) -> int:
+    """Total number of primary input vectors (``sum of L_i``)."""
+    return sum(t.length for t in tests)

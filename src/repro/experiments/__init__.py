@@ -1,0 +1,21 @@
+"""Experiment drivers: one module per table of the paper.
+
+Each driver exposes ``run(...)`` returning a structured result with a
+``render()`` method that prints rows in the paper's layout.  Scale knobs
+default to configurations that finish in seconds-to-minutes on a laptop;
+paper-scale grids are opt-in (see EXPERIMENTS.md for recorded outputs).
+
+- :mod:`repro.experiments.table1` -- Tables 1 and 2 (s27 worked example),
+- :mod:`repro.experiments.table3` -- Table 3 (s208 ``Ncyc``/``Ncyc0`` grid),
+- :mod:`repro.experiments.table4` -- Table 4 (s420 grid),
+- :mod:`repro.experiments.table5` -- Table 5 (combination ordering; exact),
+- :mod:`repro.experiments.table6` -- Table 6 (main per-circuit results),
+- :mod:`repro.experiments.table7` -- Table 7 (decreasing D1),
+- :mod:`repro.experiments.table8` -- Table 8 (parameter/storage trade-off),
+- :mod:`repro.experiments.ablations` -- extensions: observation-policy
+  ablation, full-scan-insertion cost, baselines, partial scan, D2 sweep.
+"""
+
+from repro.experiments.common import bist_for, clear_cache
+
+__all__ = ["bist_for", "clear_cache"]

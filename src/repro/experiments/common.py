@@ -1,0 +1,30 @@
+"""Shared infrastructure for experiment drivers.
+
+Fault-detectability classification is the expensive per-circuit step, so
+sessions are cached per (circuit name, seed) for the lifetime of the
+process -- Tables 3/4/6/7/8 all reuse the same targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.bench_circuits import load_circuit
+from repro.core.config import BistConfig
+from repro.core.session import LimitedScanBist
+
+_SESSIONS: Dict[Tuple[str, int], LimitedScanBist] = {}
+
+
+def bist_for(name: str, base_seed: int = 20010618) -> LimitedScanBist:
+    """A cached :class:`LimitedScanBist` session for a catalog circuit."""
+    key = (name, base_seed)
+    if key not in _SESSIONS:
+        _SESSIONS[key] = LimitedScanBist(
+            load_circuit(name), config=BistConfig(base_seed=base_seed)
+        )
+    return _SESSIONS[key]
+
+
+def clear_cache() -> None:
+    _SESSIONS.clear()

@@ -1,0 +1,88 @@
+"""Shared driver for the Table 3 / Table 4 parameter grids.
+
+For every ``(L_A, L_B, N)`` with ``L_A < L_B``, run Procedure 2 and
+record the total number of clock cycles ``Ncyc`` when 100% coverage of
+the detectable faults is achieved (a dash -- ``None`` -- otherwise),
+alongside the closed-form ``Ncyc0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.cost import ncyc0 as ncyc0_formula
+from repro.core.session import LimitedScanBist
+from repro.experiments.report import format_grid
+
+Key = Tuple[int, int, int]
+
+#: The paper's full grid.
+PAPER_LA = (8, 16, 32, 64)
+PAPER_LB = (16, 32, 64, 128, 256)
+PAPER_N = (64, 128, 256)
+
+#: A reduced grid for quick runs / CI benchmarks.
+QUICK_LA = (8, 16)
+QUICK_LB = (16, 32, 64)
+QUICK_N = (64,)
+
+
+@dataclass
+class GridResult:
+    circuit_name: str
+    la_values: Sequence[int]
+    lb_values: Sequence[int]
+    n_values: Sequence[int]
+    ncyc: Dict[Key, Optional[int]] = field(default_factory=dict)
+    ncyc0: Dict[Key, int] = field(default_factory=dict)
+    detected: Dict[Key, int] = field(default_factory=dict)
+    num_targets: int = 0
+
+    def render(self) -> str:
+        top = format_grid(
+            f"Ncyc ({self.circuit_name})",
+            self.la_values,
+            self.lb_values,
+            self.n_values,
+            self.ncyc,
+        )
+        bottom = format_grid(
+            f"Ncyc0 ({self.circuit_name})",
+            self.la_values,
+            self.lb_values,
+            self.n_values,
+            dict(self.ncyc0),
+        )
+        return top + "\n" + bottom
+
+    def complete_cells(self) -> Dict[Key, int]:
+        return {k: v for k, v in self.ncyc.items() if v is not None}
+
+
+def run_grid(
+    bist: LimitedScanBist,
+    la_values: Sequence[int] = QUICK_LA,
+    lb_values: Sequence[int] = QUICK_LB,
+    n_values: Sequence[int] = QUICK_N,
+) -> GridResult:
+    """Run Procedure 2 over the grid for one circuit session."""
+    n_sv = bist.circuit.num_state_vars
+    result = GridResult(
+        circuit_name=bist.circuit.name,
+        la_values=la_values,
+        lb_values=lb_values,
+        n_values=n_values,
+        num_targets=len(bist.target_faults),
+    )
+    for n in n_values:
+        for lb in lb_values:
+            for la in la_values:
+                if la >= lb:
+                    continue
+                key = (la, lb, n)
+                result.ncyc0[key] = ncyc0_formula(n_sv, la, lb, n)
+                run = bist.run(la, lb, n)
+                result.detected[key] = run.det_total
+                result.ncyc[key] = run.ncyc_total if run.complete else None
+    return result

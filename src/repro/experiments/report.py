@@ -1,0 +1,52 @@
+"""Table rendering helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*(str(c) for c in row)) for row in rows)
+    return "\n".join(lines)
+
+
+def format_grid(
+    title: str,
+    la_values: Sequence[int],
+    lb_values: Sequence[int],
+    n_values: Sequence[int],
+    cells: Dict[Tuple[int, int, int], Optional[int]],
+    dash: str = "-",
+) -> str:
+    """The paper's Table 3/4 layout: N blocks x (L_A rows, L_B columns).
+
+    ``cells[(la, lb, n)]`` is a number, ``None`` (render the paper's dash:
+    100% coverage not achieved), or absent (``L_A >= L_B``: left empty).
+    """
+    lines = [title]
+    header = ["LA"] + [f"LB={lb}" for lb in lb_values]
+    for n in n_values:
+        rows: List[List[str]] = []
+        for la in la_values:
+            row = [str(la)]
+            for lb in lb_values:
+                if la >= lb:
+                    row.append("")
+                else:
+                    value = cells.get((la, lb, n), "")
+                    if value is None:
+                        row.append(dash)
+                    else:
+                        row.append(str(value))
+            rows.append(row)
+        lines.append(f"N={n}")
+        lines.append(format_table(header, rows))
+        lines.append("")
+    return "\n".join(lines)

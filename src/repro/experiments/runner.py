@@ -1,0 +1,109 @@
+"""Run every experiment and write the outputs to a results directory.
+
+Usage::
+
+    python -m repro.experiments.runner [--full] [--out results/]
+
+``--full`` runs the paper-scale grids and circuit lists (minutes to
+hours); the default finishes in a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Callable, List, Sequence, Tuple
+
+from repro.experiments import ablations, table1, table3, table4, table5, table6, table7, table8
+from repro.experiments.report import format_table
+
+
+def _run_all(full: bool) -> List[Tuple[str, str]]:
+    sections: List[Tuple[str, str]] = []
+
+    def add(name: str, fn: Callable[[], str]) -> None:
+        t0 = time.time()
+        try:
+            text = fn()
+        except Exception as exc:  # experiments must not kill the batch
+            text = f"FAILED: {exc!r}"
+        sections.append((name, text + f"\n[{time.time() - t0:.1f}s]"))
+        print(f"=== {name} ({time.time() - t0:.1f}s)")
+
+    add("table1", lambda: table1.run().render())
+    add("table3", lambda: table3.run(full=full).render())
+    add("table4", lambda: table4.run(full=full).render())
+    add("table5", lambda: table5.run().render())
+    circuits6 = table6.PAPER_CIRCUITS if full else table6.DEFAULT_CIRCUITS
+
+    def run_table6() -> str:
+        result = table6.run(circuits6)
+        # Machine-readable copy alongside the text table.
+        from repro.experiments.serialize import save_reports
+
+        Path("results").mkdir(exist_ok=True)
+        save_reports(list(result.reports.values()), "results/table6.json")
+        return result.render()
+
+    add("table6", run_table6)
+    add("table7", lambda: table7.run(circuits6).render())
+    add("table8", lambda: table8.run().render())
+    add(
+        "ablation-observation",
+        lambda: ablations.render_rows(
+            ablations.observation_ablation(), "Observation-policy ablation (s208)"
+        ),
+    )
+    add(
+        "ablation-full-scan-cost",
+        lambda: "\n".join(r.summary() for r in ablations.full_scan_cost()),
+    )
+    add(
+        "baselines",
+        lambda: "\n".join(r.summary() for r in ablations.baseline_comparison()),
+    )
+    add(
+        "ablation-reseed",
+        lambda: "\n".join(
+            f"{k}: {v.summary()}" for k, v in ablations.reseed_ablation().items()
+        ),
+    )
+    add(
+        "ablation-d2",
+        lambda: "\n".join(
+            f"{k}: {v.summary()}" for k, v in ablations.d2_sweep().items()
+        ),
+    )
+    add(
+        "partial-scan",
+        lambda: ablations.partial_scan_experiment().summary(),
+    )
+    add("compaction", ablations.compaction_experiment)
+    add("transition-faults", ablations.transition_fault_experiment)
+    add("misr-validation", ablations.misr_validation)
+    add("run-lengths", ablations.run_length_report)
+    add("tat-reduction", ablations.tat_reduction_experiment)
+    add(
+        "alternatives",
+        lambda: "\n".join(ablations.alternatives_comparison()),
+    )
+    return sections
+
+
+def main(argv: Sequence[str] = ()) -> None:
+    full = "--full" in argv
+    out_dir = Path("results")
+    if "--out" in argv:
+        out_dir = Path(argv[list(argv).index("--out") + 1])
+    out_dir.mkdir(parents=True, exist_ok=True)
+    sections = _run_all(full)
+    for name, text in sections:
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    combined = "\n\n".join(f"## {name}\n\n{text}" for name, text in sections)
+    (out_dir / "all_experiments.txt").write_text(combined + "\n")
+    print(f"\nwrote {len(sections)} sections to {out_dir}/")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(sys.argv[1:])

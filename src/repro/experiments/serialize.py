@@ -1,0 +1,181 @@
+"""JSON serialization of experiment results.
+
+The text tables under ``results/`` are for humans; downstream tooling
+(plotting, regression tracking across library versions) wants structured
+data.  This module round-trips the main result objects through plain
+JSON-compatible dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.config import BistConfig
+from repro.core.procedure2 import PairResult, Procedure2Result
+from repro.core.session import CircuitReport
+from repro.core.parameter_selection import ParameterCombo
+from repro.faults.model import Fault
+
+
+def fault_to_dict(fault: Fault) -> Dict[str, Any]:
+    return {
+        "site": fault.site,
+        "value": fault.value,
+        "consumer": fault.consumer,
+        "pin": fault.pin,
+    }
+
+
+def fault_from_dict(data: Dict[str, Any]) -> Fault:
+    return Fault(
+        site=data["site"],
+        value=data["value"],
+        consumer=data.get("consumer"),
+        pin=data.get("pin"),
+    )
+
+
+def config_to_dict(config: BistConfig) -> Dict[str, Any]:
+    return {
+        "la": config.la,
+        "lb": config.lb,
+        "n": config.n,
+        "base_seed": config.base_seed,
+        "d1_values": list(config.d1_values),
+        "n_same_fc": config.n_same_fc,
+        "max_iterations": config.max_iterations,
+        "d2": config.d2,
+        "reseed_per_test": config.reseed_per_test,
+        "rng_kind": config.rng_kind,
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> BistConfig:
+    return BistConfig(
+        la=data["la"],
+        lb=data["lb"],
+        n=data["n"],
+        base_seed=data["base_seed"],
+        d1_values=tuple(data["d1_values"]),
+        n_same_fc=data["n_same_fc"],
+        max_iterations=data["max_iterations"],
+        d2=data.get("d2"),
+        reseed_per_test=data["reseed_per_test"],
+        rng_kind=data["rng_kind"],
+    )
+
+
+def result_to_dict(result: Procedure2Result) -> Dict[str, Any]:
+    """Serialize a Procedure 2 result (detection records summarized)."""
+    return {
+        "circuit": result.circuit_name,
+        "config": config_to_dict(result.config),
+        "n_sv": result.n_sv,
+        "num_targets": result.num_targets,
+        "ts0_detected": result.ts0_detected,
+        "complete": result.complete,
+        "iterations_run": result.iterations_run,
+        "pairs": [
+            {
+                "iteration": p.iteration,
+                "d1": p.d1,
+                "newly_detected": p.newly_detected,
+                "nsh": p.nsh,
+                "ls_time_units": p.ls_time_units,
+                "total_time_units": p.total_time_units,
+            }
+            for p in result.pairs
+        ],
+        "remaining_faults": [
+            fault_to_dict(f) for f in result.remaining_faults
+        ],
+        # Derived metrics, for convenience of downstream consumers.
+        "metrics": {
+            "ncyc0": result.ncyc0,
+            "ncyc_total": result.ncyc_total,
+            "app": result.app,
+            "det_total": result.det_total,
+            "ls_average": result.ls_average,
+            "fault_coverage": result.fault_coverage,
+        },
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> Procedure2Result:
+    """Reconstruct a result (detection records are not persisted)."""
+    result = Procedure2Result(
+        circuit_name=data["circuit"],
+        config=config_from_dict(data["config"]),
+        n_sv=data["n_sv"],
+        num_targets=data["num_targets"],
+        ts0_detected=data["ts0_detected"],
+    )
+    result.complete = data["complete"]
+    result.iterations_run = data["iterations_run"]
+    result.pairs = [
+        PairResult(
+            iteration=p["iteration"],
+            d1=p["d1"],
+            newly_detected=p["newly_detected"],
+            nsh=p["nsh"],
+            ls_time_units=p["ls_time_units"],
+            total_time_units=p["total_time_units"],
+        )
+        for p in data["pairs"]
+    ]
+    result.remaining_faults = [
+        fault_from_dict(f) for f in data["remaining_faults"]
+    ]
+    return result
+
+
+def report_to_dict(report: CircuitReport) -> Dict[str, Any]:
+    return {
+        "circuit": report.circuit_name,
+        "combo": {
+            "la": report.combo.la,
+            "lb": report.combo.lb,
+            "n": report.combo.n,
+            "ncyc0": report.combo.ncyc0,
+        },
+        "combos_tried": report.combos_tried,
+        "result": result_to_dict(report.result),
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> CircuitReport:
+    combo = data["combo"]
+    return CircuitReport(
+        circuit_name=data["circuit"],
+        combo=ParameterCombo(
+            la=combo["la"], lb=combo["lb"], n=combo["n"], ncyc0=combo["ncyc0"]
+        ),
+        result=result_from_dict(data["result"]),
+        combos_tried=data["combos_tried"],
+    )
+
+
+def save_result(
+    result: Procedure2Result, path: Union[str, Path]
+) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: Union[str, Path]) -> Procedure2Result:
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_reports(
+    reports: List[CircuitReport], path: Union[str, Path]
+) -> None:
+    Path(path).write_text(
+        json.dumps([report_to_dict(r) for r in reports], indent=2)
+    )
+
+
+def load_reports(path: Union[str, Path]) -> List[CircuitReport]:
+    return [
+        report_from_dict(d) for d in json.loads(Path(path).read_text())
+    ]

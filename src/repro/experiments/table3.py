@@ -1,0 +1,57 @@
+"""Table 3: numbers of clock cycles for s208.
+
+``Ncyc`` (total cycles of the selected test sets at 100% coverage of the
+detectable faults) and ``Ncyc0`` (initial test set) over the
+``(L_A, L_B, N)`` grid.  ``Ncyc0`` values are exact closed-form numbers
+and match the paper digit for digit; ``Ncyc`` values reproduce the
+paper's *shape* on the synthetic s208 stand-in (see DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import bist_for
+from repro.experiments.grid import (
+    GridResult,
+    PAPER_LA,
+    PAPER_LB,
+    PAPER_N,
+    QUICK_LA,
+    QUICK_LB,
+    QUICK_N,
+    run_grid,
+)
+
+CIRCUIT = "s208"
+
+#: The paper's exact Ncyc0 values for s208 (N_SV = 8); reproduced by the
+#: cost model and asserted in the test suite.
+PAPER_NCYC0_SAMPLES = {
+    (8, 16, 64): 2568,
+    (8, 32, 64): 3592,
+    (16, 32, 64): 4104,
+    (8, 16, 128): 5128,
+    (8, 16, 256): 10248,
+    (64, 256, 256): 86024,
+}
+
+
+def run(full: bool = False) -> GridResult:
+    """``full=True`` runs the paper's complete grid (minutes), otherwise a
+    reduced grid that exercises the same trends in seconds."""
+    bist = bist_for(CIRCUIT)
+    if full:
+        return run_grid(bist, PAPER_LA, PAPER_LB, PAPER_N)
+    return run_grid(bist, QUICK_LA, QUICK_LB, QUICK_N)
+
+
+def main(argv: Sequence[str] = ()) -> None:  # pragma: no cover - CLI
+    result = run(full="--full" in argv)
+    print(result.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1:])

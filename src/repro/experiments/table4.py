@@ -1,0 +1,54 @@
+"""Table 4: numbers of clock cycles for s420.
+
+Same layout as Table 3.  The paper's key observation here is the dashes:
+for s420, combinations with small ``(L_A, L_B, N)`` cannot reach 100%
+fault coverage at all -- the dash cells are data, not failures.  The
+synthetic s420 stand-in exhibits the same qualitative behaviour; exact
+dash positions depend on the netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import bist_for
+from repro.experiments.grid import (
+    GridResult,
+    PAPER_LA,
+    PAPER_LB,
+    PAPER_N,
+    QUICK_LA,
+    QUICK_LB,
+    QUICK_N,
+    run_grid,
+)
+
+CIRCUIT = "s420"
+
+#: Paper's exact Ncyc0 values for s420 (N_SV = 16); asserted in tests.
+PAPER_NCYC0_SAMPLES = {
+    (8, 16, 64): 3600,
+    (8, 32, 64): 4624,
+    (16, 32, 64): 5136,
+    (8, 16, 128): 7184,
+    (8, 16, 256): 14352,
+    (64, 256, 256): 90128,
+}
+
+
+def run(full: bool = False) -> GridResult:
+    bist = bist_for(CIRCUIT)
+    if full:
+        return run_grid(bist, PAPER_LA, PAPER_LB, PAPER_N)
+    return run_grid(bist, QUICK_LA, QUICK_LB, QUICK_N)
+
+
+def main(argv: Sequence[str] = ()) -> None:  # pragma: no cover - CLI
+    result = run(full="--full" in argv)
+    print(result.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1:])

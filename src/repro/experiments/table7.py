@@ -1,0 +1,79 @@
+"""Table 7: Procedure 2 with ``D1 = 10, 9, ..., 1``.
+
+Preferring large ``D1`` means fewer limited scan operations per test set
+(longer at-speed runs between scan operations), at the price of needing
+more ``(I, D1)`` pairs.  The paper's observations, which the reproduction
+checks:
+
+- ``ls`` is lower than in Table 6 for every circuit,
+- ``app`` is generally higher,
+- total cycles can move either way (two competing effects).
+
+The ``(L_A, L_B, N)`` combination per circuit is the one Table 6
+selected, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import D1_DECREASING
+from repro.core.metrics import format_optional, human_cycles
+from repro.core.procedure2 import Procedure2Result
+from repro.experiments import table6
+from repro.experiments.common import bist_for
+from repro.experiments.report import format_table
+
+
+@dataclass
+class Table7Result:
+    runs: Dict[str, Procedure2Result] = field(default_factory=dict)
+    table6_runs: Dict[str, Procedure2Result] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["circuit", "app", "det", "cycles", "ls", "ls(T6)", "app(T6)"]
+        rows: List[Sequence[str]] = []
+        for name, r in self.runs.items():
+            t6 = self.table6_runs.get(name)
+            rows.append(
+                (
+                    name,
+                    str(r.app),
+                    str(r.det_total) if r.app else "",
+                    human_cycles(r.ncyc_total) if r.app else "",
+                    format_optional(r.ls_average),
+                    format_optional(t6.ls_average) if t6 else "",
+                    str(t6.app) if t6 else "",
+                )
+            )
+        return "Table 7: D1 = 10,9,...,1 in Procedure 2\n" + format_table(
+            headers, rows
+        )
+
+
+def run(
+    circuits: Sequence[str] = table6.DEFAULT_CIRCUITS,
+    max_combos: int = 8,
+    base_seed: int = 20010618,
+) -> Table7Result:
+    t6 = table6.run(circuits, max_combos=max_combos, base_seed=base_seed)
+    result = Table7Result()
+    for name, rep in t6.reports.items():
+        bist = bist_for(name, base_seed)
+        combo = rep.combo
+        cfg = dataclasses.replace(
+            bist.config.with_lengths(combo.la, combo.lb, combo.n),
+            d1_values=D1_DECREASING,
+        )
+        result.runs[name] = bist.run(config=cfg)
+        result.table6_runs[name] = rep.result
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    names = sys.argv[1:] or list(table6.DEFAULT_CIRCUITS)
+    print(run(names).render())

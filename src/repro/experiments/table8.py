@@ -1,0 +1,104 @@
+"""Table 8: trading test-set storage against application time.
+
+For selected circuits, run Procedure 2 over several ``(L_A, L_B, N)``
+combinations of increasing ``Ncyc0``.  The paper's observation: larger
+combinations reduce the number of ``(I, D1)`` pairs that must be stored
+("app"), usually at the cost of more clock cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.metrics import format_optional, human_cycles
+from repro.core.parameter_selection import enumerate_combinations
+from repro.core.procedure2 import Procedure2Result
+from repro.experiments.common import bist_for
+from repro.experiments.report import format_table
+
+#: Default circuits (paper uses s208, s420, s641, s953, s1196, s1423,
+#: s5378, b09; the fast default sticks to the small tier).
+DEFAULT_CIRCUITS = ("s208", "s420", "b09")
+
+
+@dataclass
+class Table8Result:
+    #: per circuit: list of (combo label, result)
+    runs: Dict[str, List[Tuple[str, Procedure2Result]]] = field(
+        default_factory=dict
+    )
+
+    def render(self) -> str:
+        headers = [
+            "circuit", "LA,LB,N", "det0", "cycles0",
+            "app", "det", "cycles", "ls", "complete",
+        ]
+        rows: List[Sequence[str]] = []
+        for name, entries in self.runs.items():
+            for label, r in entries:
+                rows.append(
+                    (
+                        name,
+                        label,
+                        str(r.det_initial),
+                        human_cycles(r.ncyc0),
+                        str(r.app),
+                        str(r.det_total) if r.app else "",
+                        human_cycles(r.ncyc_total) if r.app else "",
+                        format_optional(r.ls_average),
+                        "yes" if r.complete else "NO",
+                    )
+                )
+        return (
+            "Table 8: Different combinations of LA, LB and N\n"
+            + format_table(headers, rows)
+        )
+
+    def app_counts(self, name: str) -> List[int]:
+        """The 'app' column for one circuit, in combination order."""
+        return [r.app for _, r in self.runs.get(name, [])]
+
+
+def run(
+    circuits: Sequence[str] = DEFAULT_CIRCUITS,
+    combos_per_circuit: int = 4,
+    stride: int = 3,
+    base_seed: int = 20010618,
+) -> Table8Result:
+    """For each circuit: the first complete combination plus every
+    ``stride``-th subsequent combination, ``combos_per_circuit`` total."""
+    result = Table8Result()
+    for name in circuits:
+        bist = bist_for(name, base_seed)
+        all_combos = enumerate_combinations(bist.circuit.num_state_vars)
+        entries: List[Tuple[str, Procedure2Result]] = []
+        # Find the first complete combination (the Table 6 row).
+        start = 0
+        for i, combo in enumerate(all_combos):
+            r = bist.run(combo.la, combo.lb, combo.n)
+            if r.complete:
+                entries.append((combo.label(), r))
+                start = i
+                break
+        else:
+            result.runs[name] = entries
+            continue
+        # Then sample growing combinations.
+        picked = start
+        while len(entries) < combos_per_circuit and picked + stride < len(
+            all_combos
+        ):
+            picked += stride
+            combo = all_combos[picked]
+            r = bist.run(combo.la, combo.lb, combo.n)
+            entries.append((combo.label(), r))
+        result.runs[name] = entries
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    names = sys.argv[1:] or list(DEFAULT_CIRCUITS)
+    print(run(names).render())

@@ -1,0 +1,137 @@
+"""Equivalence collapsing of stuck-at faults.
+
+Gate-local equivalence rules (the classical set):
+
+- AND:  any input s-a-0  ==  output s-a-0
+- NAND: any input s-a-0  ==  output s-a-1
+- OR:   any input s-a-1  ==  output s-a-1
+- NOR:  any input s-a-1  ==  output s-a-0
+- NOT:  input s-a-v      ==  output s-a-(1-v)
+- BUF:  input s-a-v      ==  output s-a-v
+
+XOR/XNOR gates and flip-flops produce no equivalences (a fault on a flop's
+D net is observable at scan-out while a fault on its Q net is not, so the
+two are *not* interchangeable in a scan circuit).
+
+The "fault on input pin i of gate g" is the branch fault of that pin when
+the source net fans out, and the source's stem fault otherwise -- i.e. the
+line feeding the pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault, fault_key, generate_faults
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Fault, Fault] = {}
+
+    def find(self, x: Fault) -> Fault:
+        root = x
+        while True:
+            parent = self._parent.setdefault(root, root)
+            if parent is root:
+                break
+            root = parent
+        # Path compression, iteratively.
+        while x is not root:
+            nxt = self._parent[x]
+            self._parent[x] = root
+            x = nxt
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+def _pin_fault(
+    branch_sites: Set[Tuple[str, str, int]],
+    src: str,
+    consumer: str,
+    pin: int,
+    value: int,
+) -> Fault:
+    """The line fault feeding (consumer, pin): branch fault if one exists."""
+    if (src, consumer, pin) in branch_sites:
+        return Fault(site=src, value=value, consumer=consumer, pin=pin)
+    return Fault(site=src, value=value)
+
+
+def equivalence_classes(
+    circuit: Circuit, faults: Optional[Iterable[Fault]] = None
+) -> List[List[Fault]]:
+    """Group the fault universe into gate-local equivalence classes."""
+    universe = list(faults) if faults is not None else generate_faults(circuit)
+    universe_set = set(universe)
+    branch_sites = {
+        (f.site, f.consumer, f.pin) for f in universe if f.is_branch
+    }
+
+    uf = _UnionFind()
+    for fault in universe:
+        uf.find(fault)
+
+    for gate in circuit.iter_gates():
+        out = gate.output
+        base = gate.gtype.base
+        if base is GateType.AND:
+            in_value, out_value = 0, gate.gtype.inversion_parity
+        elif base is GateType.OR:
+            in_value, out_value = 1, 1 ^ gate.gtype.inversion_parity
+        elif base is GateType.BUF:
+            # NOT/BUF: both polarities are equivalent across the gate.
+            for in_value in (0, 1):
+                out_value = in_value ^ gate.gtype.inversion_parity
+                pin_f = _pin_fault(branch_sites, gate.inputs[0], out, 0, in_value)
+                out_f = Fault(site=out, value=out_value)
+                if pin_f in universe_set and out_f in universe_set:
+                    uf.union(out_f, pin_f)
+            continue
+        else:
+            continue  # XOR family, constants: no equivalences
+        out_f = Fault(site=out, value=out_value)
+        if out_f not in universe_set:
+            continue
+        for pin, src in enumerate(gate.inputs):
+            pin_f = _pin_fault(branch_sites, src, out, pin, in_value)
+            if pin_f in universe_set:
+                uf.union(out_f, pin_f)
+
+    classes: Dict[Fault, List[Fault]] = {}
+    for fault in universe:
+        classes.setdefault(uf.find(fault), []).append(fault)
+    grouped = [sorted(members, key=fault_key) for members in classes.values()]
+    grouped.sort(key=lambda members: fault_key(members[0]))
+    return grouped
+
+
+def collapse_faults(
+    circuit: Circuit, faults: Optional[Iterable[Fault]] = None
+) -> List[Fault]:
+    """One representative fault per equivalence class.
+
+    The representative is the class's stem fault closest to the outputs
+    when one exists (the gate-output fault), which keeps reports readable;
+    concretely we prefer non-branch faults and break ties by name.
+    """
+    representatives: List[Fault] = []
+    for members in equivalence_classes(circuit, faults):
+        stems = [f for f in members if not f.is_branch]
+        pick_from = stems if stems else members
+        representatives.append(min(pick_from, key=fault_key))
+    representatives.sort(key=fault_key)
+    return representatives
+
+
+def collapse_ratio(circuit: Circuit) -> float:
+    """|collapsed| / |universe| -- a sanity metric used in tests."""
+    universe = generate_faults(circuit)
+    collapsed = collapse_faults(circuit, universe)
+    return len(collapsed) / len(universe) if universe else 1.0

@@ -1,0 +1,147 @@
+"""Fault dictionaries and cause-effect diagnosis.
+
+A *fault dictionary* records, for every modelled fault, which tests of a
+test set detect it (the pass/fail signature).  Given the pass/fail
+outcome of a physical device under the same tests, diagnosis ranks the
+faults whose signature best explains the observation -- the classical
+cause-effect flow built directly on the fault simulator.
+
+The dictionary here is a per-test detection bitmap (a "pass/fail
+dictionary"); full-response dictionaries are larger but follow the same
+structure and can be derived from :class:`repro.simulation.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.netlist import Circuit
+from repro.faults.fault_sim import FaultSimulator, ObservationPolicy, ScanTest
+from repro.faults.model import Fault, FaultGraph
+
+
+@dataclass
+class FaultDictionary:
+    """Pass/fail signatures: ``signature[fault][t]`` is True iff test
+    ``t`` detects the fault."""
+
+    tests: List[ScanTest]
+    signatures: Dict[Fault, Tuple[bool, ...]]
+
+    @property
+    def num_tests(self) -> int:
+        return len(self.tests)
+
+    def detecting_tests(self, fault: Fault) -> List[int]:
+        return [
+            t for t, hit in enumerate(self.signatures[fault]) if hit
+        ]
+
+    def distinguishable(self, a: Fault, b: Fault) -> bool:
+        """True iff some test detects exactly one of the two faults."""
+        return self.signatures[a] != self.signatures[b]
+
+    def equivalence_groups(self) -> List[List[Fault]]:
+        """Faults indistinguishable under this test set, grouped.
+
+        Groups with more than one member bound the diagnostic resolution
+        of the test set.
+        """
+        by_sig: Dict[Tuple[bool, ...], List[Fault]] = {}
+        for fault, sig in self.signatures.items():
+            by_sig.setdefault(sig, []).append(fault)
+        return list(by_sig.values())
+
+    def diagnostic_resolution(self) -> float:
+        """Fraction of faults uniquely identified by their signature."""
+        if not self.signatures:
+            return 1.0
+        unique = sum(
+            1 for group in self.equivalence_groups() if len(group) == 1
+        )
+        return unique / len(self.signatures)
+
+
+def build_dictionary(
+    circuit_or_graph: Union[Circuit, FaultGraph],
+    tests: Sequence[ScanTest],
+    faults: Sequence[Fault],
+    policy: Optional[ObservationPolicy] = None,
+) -> FaultDictionary:
+    """Simulate every test against every fault (no dropping).
+
+    One grouped pass per test keeps this affordable: cost is roughly
+    ``num_tests`` independent full-fault passes.
+    """
+    simulator = (
+        FaultSimulator(circuit_or_graph)
+        if not isinstance(circuit_or_graph, FaultSimulator)
+        else circuit_or_graph
+    )
+    signatures: Dict[Fault, List[bool]] = {f: [] for f in faults}
+    for test in tests:
+        hits = simulator.simulate_grouped([test], faults, policy)
+        for fault in faults:
+            signatures[fault].append(fault in hits)
+    return FaultDictionary(
+        tests=list(tests),
+        signatures={f: tuple(sig) for f, sig in signatures.items()},
+    )
+
+
+@dataclass
+class DiagnosisCandidate:
+    fault: Fault
+    #: tests the fault explains (predicted fail and observed fail)
+    explained: int
+    #: predicted-fail but observed-pass (false predictions)
+    mispredicted: int
+    #: observed-fail but predicted-pass (unexplained fails)
+    unexplained: int
+
+    @property
+    def score(self) -> Tuple[int, int, int]:
+        """Rank: most explained, then fewest mispredictions/unexplained."""
+        return (self.explained, -self.mispredicted, -self.unexplained)
+
+
+def diagnose(
+    dictionary: FaultDictionary,
+    observed_failures: Sequence[bool],
+    top_k: int = 10,
+) -> List[DiagnosisCandidate]:
+    """Rank candidate faults against an observed pass/fail vector."""
+    if len(observed_failures) != dictionary.num_tests:
+        raise ValueError(
+            f"observed vector has {len(observed_failures)} entries, "
+            f"dictionary has {dictionary.num_tests} tests"
+        )
+    candidates: List[DiagnosisCandidate] = []
+    for fault, sig in dictionary.signatures.items():
+        explained = mispredicted = unexplained = 0
+        for predicted, observed in zip(sig, observed_failures):
+            if predicted and observed:
+                explained += 1
+            elif predicted and not observed:
+                mispredicted += 1
+            elif observed and not predicted:
+                unexplained += 1
+        candidates.append(
+            DiagnosisCandidate(
+                fault=fault,
+                explained=explained,
+                mispredicted=mispredicted,
+                unexplained=unexplained,
+            )
+        )
+    candidates.sort(key=lambda c: c.score, reverse=True)
+    return candidates[:top_k]
+
+
+def simulate_defect(
+    dictionary: FaultDictionary, fault: Fault
+) -> List[bool]:
+    """The pass/fail vector a device with ``fault`` would produce
+    (for closed-loop diagnosis experiments)."""
+    return list(dictionary.signatures[fault])

@@ -1,0 +1,515 @@
+"""Parallel-fault sequential fault simulation.
+
+Faults are packed 64 per ``uint64`` word; the whole remaining fault list
+is simulated against one test in a single pass of the compiled model per
+time unit.  The fault-free machine is simulated first (one word) and every
+faulty machine is compared against it at the three observation points the
+paper uses:
+
+- primary outputs at every functional time unit,
+- the bits shifted out during a limited scan operation,
+- the complete state at the final scan-out.
+
+Faults are dropped at test boundaries (the standard trade-off: within one
+test a detected fault keeps simulating, which is harmless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault, FaultGraph
+from repro.simulation.compiled import Injections
+from repro.simulation.scan import bit_to_word, full_scan_state, limited_shift
+
+#: One limited-scan step: (shift_amount, fill_bits).
+ScheduleStep = Tuple[int, Sequence[int]]
+
+
+@dataclass
+class ScanTest:
+    """One test ``tau = (SI, T)`` with an optional limited-scan schedule."""
+
+    si: List[int]
+    vectors: List[List[int]]
+    schedule: Optional[List[ScheduleStep]] = None
+
+    @property
+    def length(self) -> int:
+        """The paper's test length: number of primary input vectors."""
+        return len(self.vectors)
+
+    @property
+    def total_shift_cycles(self) -> int:
+        """Clock cycles contributed to ``N_SH`` by this test's schedule."""
+        if self.schedule is None:
+            return 0
+        return sum(step[0] for step in self.schedule)
+
+    @property
+    def num_limited_scans(self) -> int:
+        """Time units at which a limited scan occurs (``shift > 0``)."""
+        if self.schedule is None:
+            return 0
+        return sum(1 for step in self.schedule if step[0] > 0)
+
+    def step(self, u: int) -> ScheduleStep:
+        if self.schedule is None:
+            return (0, ())
+        return self.schedule[u]
+
+
+@dataclass
+class DetectionRecord:
+    """Where and when a fault was first detected."""
+
+    fault: Fault
+    test_index: int
+    time_unit: int
+    where: str  # 'po', 'limited-scan', or 'scan-out'
+
+
+@dataclass
+class ObservationPolicy:
+    """Which observation mechanisms are active (ablation knob).
+
+    ``state_taps`` lists state positions observed at *every* functional
+    cycle (after capture) -- the multi-chain schemes of the paper's
+    references [5]/[6] observe the last flip-flop of every scan chain
+    this way.  ``None`` (the paper's own scheme) observes no taps.
+    """
+
+    primary_outputs: bool = True
+    limited_scan_out: bool = True
+    final_scan_out: bool = True
+    state_taps: Optional[Sequence[int]] = None
+
+    def tap_rows(self) -> Optional[np.ndarray]:
+        if self.state_taps is None or len(self.state_taps) == 0:
+            return None
+        return np.asarray(self.state_taps, dtype=np.intp)
+
+
+@dataclass
+class _FaultFreeRef:
+    po_words: List[np.ndarray]  # per u: (n_po,) replicated words
+    scanout_words: List[np.ndarray]  # per u: (k,) replicated words
+    final_state: np.ndarray  # (chain, 1)
+    tap_words: List[np.ndarray]  # per u: (n_taps,) captured-state taps
+
+
+class FaultSimulator:
+    """Sequential stuck-at fault simulator for full-scan tests.
+
+    Construct once per circuit (the compiled graph is reused across test
+    sets), then call :meth:`simulate` with any iterable of
+    :class:`ScanTest` and target faults.
+    """
+
+    def __init__(
+        self,
+        circuit_or_graph: Union[Circuit, FaultGraph],
+        chain: Optional[Sequence[int]] = None,
+    ) -> None:
+        """``chain`` selects which state positions are on the scan chain
+        (in scan order); ``None`` means full scan.  With partial scan the
+        un-scanned flops reset to 0 at the start of every test and are not
+        observed at scan-out -- the standard partial-scan test model."""
+        if isinstance(circuit_or_graph, FaultGraph):
+            self.graph = circuit_or_graph
+        else:
+            self.graph = FaultGraph(circuit_or_graph)
+        self.model = self.graph.model
+        self._n_sv = len(self.model.q_idx)
+        self._n_pi = len(self.model.pi_idx)
+        if chain is None:
+            chain = list(range(self._n_sv))
+        else:
+            chain = list(chain)
+            if sorted(set(chain)) != sorted(chain) or any(
+                not 0 <= p < self._n_sv for p in chain
+            ):
+                raise ValueError("chain must be distinct positions in range")
+        self.chain = np.array(chain, dtype=np.intp)
+
+    @property
+    def chain_length(self) -> int:
+        """Scanned flip-flops (= N_SV under full scan)."""
+        return len(self.chain)
+
+    def _initial_state(self, si: Sequence[int], n_words: int) -> np.ndarray:
+        state = np.zeros((self._n_sv, n_words), dtype=np.uint64)
+        if len(self.chain):
+            state[self.chain, :] = full_scan_state(
+                len(self.chain), si, n_words
+            )
+        return state
+
+    def _shift(
+        self, state: np.ndarray, k: int, fill: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        sub, out_words = limited_shift(state[self.chain], k, fill)
+        new_state = state.copy()
+        new_state[self.chain] = sub
+        return new_state, out_words
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        tests: Iterable[ScanTest],
+        faults: Sequence[Fault],
+        policy: Optional[ObservationPolicy] = None,
+    ) -> Dict[Fault, DetectionRecord]:
+        """Simulate ``tests`` in order with fault dropping.
+
+        Returns a record for every detected fault.  Stops early once every
+        target fault is detected.
+        """
+        policy = policy or ObservationPolicy()
+        remaining: List[Fault] = list(faults)
+        detected: Dict[Fault, DetectionRecord] = {}
+
+        for t_idx, test in enumerate(tests):
+            self._check_test(test)
+            if not remaining:
+                break
+            ref = self._fault_free_reference(test, policy)
+            groups = [remaining[i : i + 64] for i in range(0, len(remaining), 64)]
+            hits = self._simulate_faulty(test, groups, ref, policy)
+            if hits:
+                for (word, bit), (u, where) in hits.items():
+                    fault = groups[word][bit]
+                    detected[fault] = DetectionRecord(
+                        fault=fault, test_index=t_idx, time_unit=u, where=where
+                    )
+                hit_faults = set(detected)
+                remaining = [f for f in remaining if f not in hit_faults]
+        return detected
+
+    def simulate_grouped(
+        self,
+        tests: Sequence[ScanTest],
+        faults: Sequence[Fault],
+        policy: Optional[ObservationPolicy] = None,
+        max_cols: int = 4096,
+    ) -> Dict[Fault, DetectionRecord]:
+        """Fast path: batch tests with identical (length, schedule).
+
+        Tests of the paper's test sets come in exactly two shapes (all
+        ``L_A`` tests share one schedule, all ``L_B`` tests another,
+        because Procedure 1 re-seeds per test), so whole batches are
+        simulated in one pass with tests laid out along the word axis
+        next to the fault groups.  The detected-fault *set* is identical
+        to :meth:`simulate`; only the (test, time-unit) attribution of
+        first detections may differ (earliest time unit instead of
+        earliest test).  ``max_cols`` bounds memory: a batch is chunked
+        so that ``n_tests * n_groups <= max_cols``.
+        """
+        policy = policy or ObservationPolicy()
+        remaining: List[Fault] = list(faults)
+        detected: Dict[Fault, DetectionRecord] = {}
+
+        batches: Dict[tuple, List[Tuple[int, ScanTest]]] = {}
+        for i, test in enumerate(tests):
+            self._check_test(test)
+            sig = (
+                test.length,
+                tuple(
+                    (k, tuple(fill))
+                    for k, fill in (test.schedule or [(0, ())] * test.length)
+                ),
+            )
+            batches.setdefault(sig, []).append((i, test))
+
+        for items in batches.values():
+            pos = 0
+            while pos < len(items) and remaining:
+                n_groups = (len(remaining) + 63) // 64
+                chunk_tests = max(1, max_cols // max(n_groups, 1))
+                chunk = items[pos : pos + chunk_tests]
+                pos += len(chunk)
+                hits = self._simulate_batch(chunk, remaining, policy)
+                if hits:
+                    detected.update(hits)
+                    remaining = [f for f in remaining if f not in hits]
+        return detected
+
+    def _simulate_batch(
+        self,
+        items: Sequence[Tuple[int, ScanTest]],
+        remaining: Sequence[Fault],
+        policy: ObservationPolicy,
+    ) -> Dict[Fault, DetectionRecord]:
+        model = self.model
+        tests = [t for _, t in items]
+        test_ids = [i for i, _ in items]
+        n_tests = len(tests)
+        length = tests[0].length
+        schedule = [tests[0].step(u) for u in range(length)]
+        groups = [list(remaining[i : i + 64]) for i in range(0, len(remaining), 64)]
+        n_groups = len(groups)
+        n_cols = n_tests * n_groups  # column = t * n_groups + g
+
+        taps = policy.tap_rows()
+        # --- fault-free reference over all tests (one column per test) ---
+        ref_po, ref_scan, ref_final, ref_taps = self._ff_batch(
+            tests, schedule, taps
+        )
+
+        # --- faulty pass ---------------------------------------------------
+        entries = []
+        for g, group in enumerate(groups):
+            for bit, fault in enumerate(group):
+                sig_idx = self.graph.signal_of(fault)
+                for t in range(n_tests):
+                    entries.append((sig_idx, t * n_groups + g, bit, fault.value))
+        injections = Injections.build(entries, model.level_of_signal)
+
+        si_words = self._si_words(tests)  # (chain, n_tests)
+        state = np.zeros((self._n_sv, n_cols), dtype=np.uint64)
+        if len(self.chain):
+            state[self.chain, :] = np.repeat(si_words, n_groups, axis=1)
+        vals = model.alloc(n_cols)
+        seen = np.zeros(n_groups, dtype=np.uint64)
+        hits: Dict[Fault, DetectionRecord] = {}
+
+        def record(diff_tg: np.ndarray, u: int, where: str) -> None:
+            nonlocal seen
+            agg = np.bitwise_or.reduce(diff_tg, axis=0)
+            fresh = agg & ~seen
+            if not fresh.any():
+                return
+            for g in np.flatnonzero(fresh):
+                bits = int(fresh[g])
+                mask_col = diff_tg[:, g]
+                while bits:
+                    low = bits & -bits
+                    bit = low.bit_length() - 1
+                    if bit < len(groups[g]):
+                        t_first = int(
+                            np.flatnonzero(mask_col & np.uint64(low))[0]
+                        )
+                        fault = groups[g][bit]
+                        hits[fault] = DetectionRecord(
+                            fault=fault,
+                            test_index=test_ids[t_first],
+                            time_unit=u,
+                            where=where,
+                        )
+                    bits ^= low
+            seen |= fresh
+
+        pi_cube = self._pi_words(tests)  # list per u: (n_pi, n_tests)
+        for u in range(length):
+            k, fill = schedule[u]
+            if k > 0:
+                state, out_words = self._shift(state, k, list(fill))
+                if policy.limited_scan_out:
+                    diff = out_words.reshape(k, n_tests, n_groups) ^ ref_scan[u][
+                        :, :, None
+                    ]
+                    record(
+                        np.bitwise_or.reduce(diff, axis=0), u, "limited-scan"
+                    )
+            vals[model.pi_idx, :] = np.repeat(pi_cube[u], n_groups, axis=1)
+            vals[model.q_idx, :] = state
+            model.eval(vals, injections=injections)
+            if policy.primary_outputs and len(model.po_idx):
+                diff = vals[model.po_idx, :].reshape(
+                    len(model.po_idx), n_tests, n_groups
+                ) ^ ref_po[u][:, :, None]
+                record(np.bitwise_or.reduce(diff, axis=0), u, "po")
+            state = vals[model.d_idx, :].copy()
+            if taps is not None:
+                diff = state[taps, :].reshape(
+                    len(taps), n_tests, n_groups
+                ) ^ ref_taps[u][:, :, None]
+                record(np.bitwise_or.reduce(diff, axis=0), u, "state-tap")
+
+        if policy.final_scan_out and self.chain_length:
+            diff = state[self.chain].reshape(
+                self.chain_length, n_tests, n_groups
+            ) ^ ref_final[:, :, None]
+            record(np.bitwise_or.reduce(diff, axis=0), length, "scan-out")
+        return hits
+
+    def _si_words(self, tests: Sequence[ScanTest]) -> np.ndarray:
+        """(chain_length, n_tests) replicated-bit words of the SIs."""
+        bits = np.array([t.si for t in tests], dtype=bool).T
+        return np.where(
+            bits, np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(0)
+        ).astype(np.uint64)
+
+    def _pi_words(self, tests: Sequence[ScanTest]) -> List[np.ndarray]:
+        """Per time unit: (n_pi, n_tests) replicated-bit vector words."""
+        length = tests[0].length
+        out: List[np.ndarray] = []
+        for u in range(length):
+            bits = np.array([t.vectors[u] for t in tests], dtype=bool).T
+            out.append(
+                np.where(
+                    bits, np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(0)
+                ).astype(np.uint64)
+            )
+        return out
+
+    def _ff_batch(
+        self,
+        tests: Sequence[ScanTest],
+        schedule: Sequence[ScheduleStep],
+        taps: Optional[np.ndarray] = None,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray, List[np.ndarray]]:
+        """Fault-free reference for a uniform batch (one column per test)."""
+        model = self.model
+        n_tests = len(tests)
+        state = np.zeros((self._n_sv, n_tests), dtype=np.uint64)
+        if len(self.chain):
+            state[self.chain, :] = self._si_words(tests)
+        vals = model.alloc(n_tests)
+        pi_cube = self._pi_words(tests)
+        ref_po: List[np.ndarray] = []
+        ref_scan: List[np.ndarray] = []
+        ref_taps: List[np.ndarray] = []
+        for u in range(tests[0].length):
+            k, fill = schedule[u]
+            if k > 0:
+                state, out_words = self._shift(state, k, list(fill))
+                ref_scan.append(out_words.copy())
+            else:
+                ref_scan.append(np.zeros((0, n_tests), dtype=np.uint64))
+            vals[model.pi_idx, :] = pi_cube[u]
+            vals[model.q_idx, :] = state
+            model.eval(vals)
+            ref_po.append(vals[model.po_idx, :].copy())
+            state = vals[model.d_idx, :].copy()
+            if taps is not None:
+                ref_taps.append(state[taps, :].copy())
+        return ref_po, ref_scan, state[self.chain].copy(), ref_taps
+
+    def detected_by(
+        self,
+        tests: Sequence[ScanTest],
+        faults: Sequence[Fault],
+        policy: Optional[ObservationPolicy] = None,
+    ) -> List[Fault]:
+        """Convenience: just the detected faults, in universe order."""
+        records = self.simulate(tests, faults, policy)
+        return [f for f in faults if f in records]
+
+    # ------------------------------------------------------------------
+    def _check_test(self, test: ScanTest) -> None:
+        if len(test.si) != self.chain_length:
+            raise ValueError(
+                f"test SI has {len(test.si)} bits, chain has {self.chain_length}"
+            )
+        for vec in test.vectors:
+            if len(vec) != self._n_pi:
+                raise ValueError(
+                    f"vector has {len(vec)} bits, circuit has {self._n_pi} inputs"
+                )
+        if test.schedule is not None and len(test.schedule) != test.length:
+            raise ValueError("schedule length must equal test length")
+
+    def _fault_free_reference(
+        self, test: ScanTest, policy: Optional[ObservationPolicy] = None
+    ) -> _FaultFreeRef:
+        model = self.model
+        taps = (policy or ObservationPolicy()).tap_rows()
+        state = self._initial_state(test.si, n_words=1)
+        vals = model.alloc(n_words=1)
+        po_words: List[np.ndarray] = []
+        scanout_words: List[np.ndarray] = []
+        tap_words: List[np.ndarray] = []
+        for u, vector in enumerate(test.vectors):
+            k, fill = test.step(u)
+            if k > 0:
+                state, out_words = self._shift(state, k, list(fill))
+                scanout_words.append(out_words[:, 0].copy())
+            else:
+                scanout_words.append(np.zeros(0, dtype=np.uint64))
+            model.set_inputs_from_bits(vals, vector)
+            vals[model.q_idx, :] = state
+            model.eval(vals)
+            po_words.append(vals[model.po_idx, 0].copy())
+            state = vals[model.d_idx, :].copy()
+            if taps is not None:
+                tap_words.append(state[taps, 0].copy())
+        return _FaultFreeRef(
+            po_words=po_words,
+            scanout_words=scanout_words,
+            final_state=state[self.chain].copy(),
+            tap_words=tap_words,
+        )
+
+    def _simulate_faulty(
+        self,
+        test: ScanTest,
+        groups: List[List[Fault]],
+        ref: _FaultFreeRef,
+        policy: ObservationPolicy,
+    ) -> Dict[Tuple[int, int], Tuple[int, str]]:
+        """Run all fault groups through one test.
+
+        Returns ``{(word, bit): (time_unit, where)}`` for first detections;
+        the final scan-out is reported with time unit ``test.length``.
+        """
+        model = self.model
+        taps = policy.tap_rows()
+        n_words = len(groups)
+        entries = []
+        for word, group in enumerate(groups):
+            for bit, fault in enumerate(group):
+                entries.append(self.graph.injection_entry(fault, word, bit))
+        injections = Injections.build(entries, model.level_of_signal)
+
+        state = self._initial_state(test.si, n_words)
+        # A fault on a flop's Q net must corrupt what the combinational
+        # logic sees, but not the latched/scanned value -- which is exactly
+        # what injecting into `vals` (not `state`) does.
+        vals = model.alloc(n_words)
+        seen = np.zeros(n_words, dtype=np.uint64)
+        hits: Dict[Tuple[int, int], Tuple[int, str]] = {}
+
+        def record(diff_words: np.ndarray, u: int, where: str) -> None:
+            nonlocal seen
+            fresh = diff_words & ~seen
+            if not fresh.any():
+                return
+            for word in np.flatnonzero(fresh):
+                bits = int(fresh[word])
+                while bits:
+                    low = bits & -bits
+                    bit = low.bit_length() - 1
+                    if bit < len(groups[word]):
+                        hits[(word, bit)] = (u, where)
+                    bits ^= low
+            seen |= fresh
+
+        for u, vector in enumerate(test.vectors):
+            k, fill = test.step(u)
+            if k > 0:
+                state, out_words = self._shift(state, k, list(fill))
+                if policy.limited_scan_out:
+                    diff = out_words ^ ref.scanout_words[u][:, None]
+                    record(np.bitwise_or.reduce(diff, axis=0), u, "limited-scan")
+            model.set_inputs_from_bits(vals, vector)
+            vals[model.q_idx, :] = state
+            model.eval(vals, injections=injections)
+            if policy.primary_outputs and len(model.po_idx):
+                diff = vals[model.po_idx, :] ^ ref.po_words[u][:, None]
+                record(np.bitwise_or.reduce(diff, axis=0), u, "po")
+            state = vals[model.d_idx, :].copy()
+            if taps is not None:
+                diff = state[taps, :] ^ ref.tap_words[u][:, None]
+                record(np.bitwise_or.reduce(diff, axis=0), u, "state-tap")
+
+        if policy.final_scan_out and self.chain_length:
+            diff = state[self.chain] ^ ref.final_state
+            record(
+                np.bitwise_or.reduce(diff, axis=0), test.length, "scan-out"
+            )
+        return hits

@@ -1,0 +1,32 @@
+"""Random pattern generation.
+
+The paper assumes on-chip LFSRs generate (a) the test vectors and scan-in
+states of the initial test set ``TS0`` and (b) the draws that control the
+random insertion of limited scan operations.  This package provides:
+
+- :mod:`repro.rpg.lfsr` -- maximal-length Fibonacci LFSRs with a primitive
+  polynomial table for widths 2..64,
+- :mod:`repro.rpg.prng` -- the :class:`RandomSource` abstraction used by
+  the rest of the library (LFSR-backed for hardware fidelity, numpy-backed
+  for speed), including the paper's ``r mod D`` draws,
+- :mod:`repro.rpg.weighted` -- weighted random pattern sources (the
+  Section 1 alternative technique, implemented as an extension).
+"""
+
+from repro.rpg.lfsr import Lfsr, PRIMITIVE_TAPS
+from repro.rpg.misr import Misr, SignatureCollector, signature_of_trace
+from repro.rpg.prng import LfsrSource, NumpySource, RandomSource, make_source
+from repro.rpg.weighted import WeightedSource
+
+__all__ = [
+    "Lfsr",
+    "PRIMITIVE_TAPS",
+    "RandomSource",
+    "LfsrSource",
+    "NumpySource",
+    "make_source",
+    "WeightedSource",
+    "Misr",
+    "SignatureCollector",
+    "signature_of_trace",
+]

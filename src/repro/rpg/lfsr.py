@@ -1,0 +1,178 @@
+"""Maximal-length linear feedback shift registers.
+
+A Fibonacci LFSR of width ``n`` with primitive feedback polynomial visits
+all ``2**n - 1`` nonzero states before repeating, which is why LFSRs are
+the canonical low-cost pseudo-random pattern generator in BIST.  The tap
+table below lists one primitive polynomial per width (taps as bit positions
+``n .. 1``, XOR feedback form), following the widely used XAPP052 table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Primitive polynomial taps per width: ``feedback = XOR of state bits at
+#: these 1-based positions`` (position 1 is the register's output end).
+PRIMITIVE_TAPS = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 6, 4, 1),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+    33: (33, 20),
+    34: (34, 27, 2, 1),
+    35: (35, 33),
+    36: (36, 25),
+    37: (37, 5, 4, 3, 2, 1),
+    38: (38, 6, 5, 1),
+    39: (39, 35),
+    40: (40, 38, 21, 19),
+    41: (41, 38),
+    42: (42, 41, 20, 19),
+    43: (43, 42, 38, 37),
+    44: (44, 43, 18, 17),
+    45: (45, 44, 42, 41),
+    46: (46, 45, 26, 25),
+    47: (47, 42),
+    48: (48, 47, 21, 20),
+    49: (49, 40),
+    50: (50, 49, 24, 23),
+    51: (51, 50, 36, 35),
+    52: (52, 49),
+    53: (53, 52, 38, 37),
+    54: (54, 53, 18, 17),
+    55: (55, 31),
+    56: (56, 55, 35, 34),
+    57: (57, 50),
+    58: (58, 39),
+    59: (59, 58, 38, 37),
+    60: (60, 59),
+    61: (61, 60, 46, 45),
+    62: (62, 61, 6, 5),
+    63: (63, 62),
+    64: (64, 63, 61, 60),
+}
+
+
+class Lfsr:
+    """A Fibonacci LFSR producing one pseudo-random bit per step.
+
+    The register state is held as an integer whose bit ``i`` (0-based) is
+    stage ``i + 1`` of the register.  Each :meth:`step` outputs stage 1,
+    shifts the register down, and feeds the XOR of the tap stages into the
+    top stage.  The all-zero state is a lock-up state in the XOR form and
+    is rejected as a seed.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        seed: int = 1,
+        taps: Optional[Sequence[int]] = None,
+    ) -> None:
+        if taps is None:
+            if width not in PRIMITIVE_TAPS:
+                raise ValueError(f"no built-in primitive taps for width {width}")
+            taps = PRIMITIVE_TAPS[width]
+        if any(t < 1 or t > width for t in taps):
+            raise ValueError(f"tap out of range for width {width}: {taps}")
+        if width not in taps:
+            raise ValueError("tap list must include the register width")
+        self.width = width
+        self.taps: Tuple[int, ...] = tuple(sorted(set(taps), reverse=True))
+        self._mask = (1 << width) - 1
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Load a new register state (nonzero, truncated to the width)."""
+        state = seed & self._mask
+        if state == 0:
+            raise ValueError("LFSR seed must be nonzero in the register width")
+        self._state = state
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def step(self) -> int:
+        """Advance one clock and return the output bit (stage 1).
+
+        With the register emitting stage 1 and shifting toward it, the
+        recurrence realized by tap list ``{n, t2, ...}`` is
+        ``a[k+n] = a[k] ^ a[k+n-t2] ^ ...`` -- the reciprocal of the
+        published polynomial, which is primitive iff the original is, so
+        the sequence is maximal length either way.
+        """
+        state = self._state
+        out = state & 1
+        fb = 0
+        for tap in self.taps:
+            fb ^= (state >> (self.width - tap)) & 1
+        self._state = (state >> 1) | (fb << (self.width - 1))
+        return out
+
+    def bits(self, n: int) -> List[int]:
+        """The next ``n`` output bits."""
+        return [self.step() for _ in range(n)]
+
+    def word(self, n: int) -> int:
+        """The next ``n`` bits packed MSB-first into an integer."""
+        value = 0
+        for _ in range(n):
+            value = (value << 1) | self.step()
+        return value
+
+    def period(self, limit: Optional[int] = None) -> int:
+        """Count steps until the state recurs (test helper; exponential!)."""
+        start = self._state
+        cap = limit if limit is not None else (1 << self.width)
+        count = 0
+        while count < cap + 1:
+            self.step()
+            count += 1
+            if self._state == start:
+                return count
+        raise RuntimeError("period exceeds limit")
+
+
+def lfsr_sequence(width: int, seed: int, n: int) -> List[int]:
+    """Convenience: the first ``n`` output bits of a fresh LFSR."""
+    return Lfsr(width, seed).bits(n)
+
+
+def taps_to_polynomial(taps: Iterable[int]) -> int:
+    """Represent taps as the coefficient bitmask of the feedback polynomial.
+
+    Bit ``i`` of the result is the coefficient of ``x**i``; the constant
+    term (``x**0 = 1``) is always set.
+    """
+    poly = 1
+    for tap in taps:
+        poly |= 1 << tap
+    return poly

@@ -1,0 +1,128 @@
+"""Multiple-input signature registers (MISR) for BIST response compaction.
+
+A real BIST implementation of the paper's scheme would not compare every
+primary output against stored good values; it would compact the response
+stream into an LFSR-based signature and compare one signature at the end.
+This module provides that substrate:
+
+- :class:`Misr` -- a multiple-input signature register over GF(2): each
+  clock, the register shifts with primitive-polynomial feedback and XORs
+  the parallel input word into its stages,
+- :class:`SignatureCollector` -- adapts the observation streams of the
+  fault simulator (POs per cycle, limited-scan-out bits, final scan-out)
+  into MISR updates and produces the final signature,
+- :func:`aliasing_probability` -- the classical ``2**-n`` estimate.
+
+Signature-based detection is pessimistic only through aliasing; the
+experiments use it to show the paper's coverage survives realistic
+response compaction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.rpg.lfsr import PRIMITIVE_TAPS
+
+
+class Misr:
+    """A multiple-input signature register of ``width`` stages.
+
+    State bit ``i`` is stage ``i``.  Each :meth:`clock` performs the
+    LFSR shift (feedback from the primitive taps) and XORs the input
+    word into the low stages.  Input words wider than the register are
+    rejected -- fold them first or use a wider MISR.
+    """
+
+    def __init__(self, width: int, seed: int = 0) -> None:
+        if width not in PRIMITIVE_TAPS:
+            raise ValueError(f"no primitive polynomial for width {width}")
+        self.width = width
+        self._mask = (1 << width) - 1
+        self.taps = PRIMITIVE_TAPS[width]
+        self.reset(seed)
+
+    def reset(self, seed: int = 0) -> None:
+        """A MISR may start all-zero (inputs break the lockup)."""
+        self._state = seed & self._mask
+
+    @property
+    def signature(self) -> int:
+        return self._state
+
+    def clock(self, input_word: int = 0) -> None:
+        """One compaction clock with a parallel input word."""
+        if input_word < 0 or input_word > self._mask:
+            raise ValueError(
+                f"input word 0x{input_word:x} wider than {self.width} stages"
+            )
+        state = self._state
+        fb = 0
+        for tap in self.taps:
+            fb ^= (state >> (self.width - tap)) & 1
+        state = ((state >> 1) | (fb << (self.width - 1))) & self._mask
+        self._state = state ^ input_word
+
+    def compact(self, words: Iterable[int]) -> int:
+        for word in words:
+            self.clock(word)
+        return self.signature
+
+
+def fold_bits(bits: Sequence[int], width: int) -> int:
+    """Fold a bit vector into a ``width``-bit input word (XOR overlay)."""
+    word = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            word ^= 1 << (i % width)
+    return word
+
+
+class SignatureCollector:
+    """Compacts a test's observation streams into one signature.
+
+    The collector mirrors the fault simulator's observation points: call
+    :meth:`outputs` once per functional cycle, :meth:`scan_bits` for the
+    bits leaving the chain during a limited scan operation, and
+    :meth:`final_state` after the last scan-out.  Two machines with the
+    same call sequence and the same observed values produce the same
+    signature; any difference almost surely (1 - 2**-width) perturbs it.
+    """
+
+    def __init__(self, width: int = 32, seed: int = 0) -> None:
+        self.misr = Misr(width, seed)
+        self.width = width
+
+    def outputs(self, po_bits: Sequence[int]) -> None:
+        self.misr.clock(fold_bits(po_bits, self.width))
+
+    def scan_bits(self, bits: Sequence[int]) -> None:
+        for bit in bits:  # serial stream: one compaction clock per bit
+            self.misr.clock(bit & 1)
+
+    def final_state(self, state_bits: Sequence[int]) -> None:
+        self.scan_bits(state_bits)
+
+    @property
+    def signature(self) -> int:
+        return self.misr.signature
+
+
+def aliasing_probability(width: int) -> float:
+    """The classical steady-state aliasing estimate ``2**-width``."""
+    return 2.0 ** -width
+
+
+def signature_of_trace(trace, width: int = 32, seed: int = 0) -> int:
+    """Signature of a :class:`~repro.simulation.trace.TestTrace`.
+
+    Convenience for experiments: compacts the trace's outputs, its
+    limited-scan-out bits, and the final state, in simulation order.
+    """
+    collector = SignatureCollector(width, seed)
+    for u in range(trace.length):
+        if trace.scanout[u]:
+            collector.scan_bits(trace.scanout[u])
+        collector.outputs([int(b) for b in trace.outputs[u]])
+    collector.final_state([int(b) for b in trace.states[trace.length]])
+    return collector.signature

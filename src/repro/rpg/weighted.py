@@ -1,0 +1,78 @@
+"""Weighted random pattern generation.
+
+Section 1 of the paper lists weighted random patterns as one of the
+standard remedies when plain random patterns leave faults undetected.  We
+implement it as an extension/baseline: a :class:`WeightedSource` produces
+bits whose probability of being 1 is a per-position weight drawn from a
+small discrete weight set (as in classic weighted-random BIST, where
+weights are realized by ANDing/ORing a few LFSR cells).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.rpg.prng import RandomSource
+
+#: The classic 3-bit weight set: probabilities realizable by combining up
+#: to three equiprobable LFSR bits.
+CLASSIC_WEIGHTS = (0.125, 0.25, 0.5, 0.75, 0.875)
+
+
+class WeightedSource:
+    """Produce weighted bits from an underlying uniform source.
+
+    Each position ``i`` of a pattern has weight ``weights[i % len]``; a
+    weight ``w`` means ``P(bit = 1) = w``.  Weights must be multiples of
+    1/8 so they are realizable with three uniform bits, mirroring hardware
+    weighted-pattern generators.
+    """
+
+    def __init__(self, base: RandomSource, weights: Sequence[float]) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        self._thresholds: List[int] = []
+        for w in weights:
+            scaled = round(w * 8)
+            if not 0 <= scaled <= 8 or abs(scaled - w * 8) > 1e-9:
+                raise ValueError(f"weight {w} is not a multiple of 1/8 in [0, 1]")
+            self._thresholds.append(scaled)
+        self._base = base
+
+    def bit(self, position: int = 0) -> int:
+        """Next bit, weighted for pattern position ``position``."""
+        threshold = self._thresholds[position % len(self._thresholds)]
+        # A 3-bit uniform draw u in [0, 8); bit = 1 iff u < 8w.
+        u = (self._base.bit() << 2) | (self._base.bit() << 1) | self._base.bit()
+        return 1 if u < threshold else 0
+
+    def pattern(self, n: int) -> List[int]:
+        """An ``n``-bit weighted pattern (position-indexed weights)."""
+        return [self.bit(i) for i in range(n)]
+
+
+def uniform_weights(n: int) -> List[float]:
+    """The degenerate weight vector that reduces to unweighted patterns."""
+    return [0.5] * n
+
+
+def profile_weights(
+    care_ones: Sequence[int],
+    care_total: Sequence[int],
+    floor: float = 0.125,
+    ceil: float = 0.875,
+) -> List[float]:
+    """Derive per-position weights from a deterministic test-cube profile.
+
+    ``care_ones[i]`` / ``care_total[i]`` estimate how often position ``i``
+    wants to be 1 among care bits; the result is snapped to the classic
+    1/8-grid and clamped away from 0/1 so every pattern remains possible.
+    """
+    if len(care_ones) != len(care_total):
+        raise ValueError("care_ones and care_total must have equal length")
+    weights: List[float] = []
+    for ones, total in zip(care_ones, care_total):
+        w = 0.5 if total == 0 else ones / total
+        w = min(max(round(w * 8) / 8, floor), ceil)
+        weights.append(w)
+    return weights

@@ -1,0 +1,312 @@
+"""Compiled bit-parallel circuit model.
+
+A :class:`CompiledModel` turns a :class:`~repro.circuit.netlist.Circuit`
+into flat numpy arrays so that one evaluation pass touches Python only
+``O(levels * gate_types)`` times instead of ``O(gates)`` times.  Values
+live in a ``(n_signals, n_words)`` ``uint64`` matrix; every bit of every
+word is an independent machine copy (a fault machine for the parallel-fault
+simulator, a pattern for the pattern-parallel simulator).
+
+Fault injection is expressed as :class:`Injections`: per evaluation level,
+``vals[sig, word] = (vals[sig, word] & and_mask) | or_mask`` applied with a
+single fancy-indexed statement, so a stuck-at fault forces its bit both
+when the signal is produced and before anything consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.levelize import levelize
+from repro.circuit.library import ALL_ONES, GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.transform import decompose_to_two_input
+
+
+@dataclass
+class _OpGroup:
+    """One fused kernel within a level.
+
+    Three kernel kinds cover the whole gate library (De Morgan folds the
+    OR family into AND with inversion masks):
+
+    - ``and2``: ``dst = ((s1 ^ ia) & (s2 ^ ib)) ^ io``  (AND/NAND/OR/NOR)
+    - ``xor2``: ``dst = (s1 ^ s2) ^ io``                 (XOR/XNOR)
+    - ``unary``: ``dst = s1 ^ io``                       (BUF/NOT)
+    - ``const``: ``dst = io``                            (CONST0/CONST1)
+
+    Masks are per-gate uint64 columns (0 or all-ones).
+    """
+
+    kind: str
+    dst: np.ndarray
+    src1: Optional[np.ndarray] = None
+    src2: Optional[np.ndarray] = None
+    ia: Optional[np.ndarray] = None
+    ib: Optional[np.ndarray] = None
+    io: Optional[np.ndarray] = None
+
+
+@dataclass
+class Injections:
+    """Stuck-value forcing, grouped by the level at which each signal is set.
+
+    ``per_level[lvl]`` holds ``(sigs, words, and_masks, or_masks)`` arrays;
+    level 0 covers primary inputs and flop outputs, level ``k`` covers
+    signals produced by gate level ``k``.
+    """
+
+    per_level: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+
+    @staticmethod
+    def build(
+        entries: Sequence[Tuple[int, int, int, int]],
+        level_of_signal: Sequence[int],
+    ) -> "Injections":
+        """Build from ``(sig_index, word_index, bit_index, stuck_value)``.
+
+        Entries hitting the same (signal, word) pair are merged into one
+        mask so the fancy-indexed application never writes a location
+        twice (numpy would keep only the last write).
+        """
+        merged: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for sig, word, bit, value in entries:
+            sig, word, bit = int(sig), int(word), int(bit)
+            and_mask, or_mask = merged.get((sig, word), (int(ALL_ONES), 0))
+            bitmask = 1 << bit
+            and_mask &= ~bitmask & int(ALL_ONES)
+            if value:
+                or_mask |= bitmask
+            merged[(sig, word)] = (and_mask, or_mask)
+
+        by_level: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for (sig, word), (and_mask, or_mask) in merged.items():
+            lvl = level_of_signal[sig]
+            by_level.setdefault(lvl, []).append((sig, word, and_mask, or_mask))
+
+        inj = Injections()
+        for lvl, rows in by_level.items():
+            sigs = np.array([r[0] for r in rows], dtype=np.intp)
+            words = np.array([r[1] for r in rows], dtype=np.intp)
+            ands = np.array([r[2] for r in rows], dtype=np.uint64)
+            ors = np.array([r[3] for r in rows], dtype=np.uint64)
+            inj.per_level[lvl] = (sigs, words, ands, ors)
+        return inj
+
+    @staticmethod
+    def build_whole_word(
+        entries: Sequence[Tuple[int, int, int]],
+        level_of_signal: Sequence[int],
+    ) -> "Injections":
+        """Build from ``(sig_index, word_index, stuck_value)``, forcing all
+        64 bits of the word.  Used when a word models a single machine
+        (e.g. the scalar faulty-machine simulation behind Table 1)."""
+        by_level: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for sig, word, value in entries:
+            lvl = level_of_signal[sig]
+            or_mask = int(ALL_ONES) if value else 0
+            by_level.setdefault(lvl, []).append((sig, word, 0, or_mask))
+        inj = Injections()
+        for lvl, rows in by_level.items():
+            sigs = np.array([r[0] for r in rows], dtype=np.intp)
+            words = np.array([r[1] for r in rows], dtype=np.intp)
+            ands = np.array([r[2] for r in rows], dtype=np.uint64)
+            ors = np.array([r[3] for r in rows], dtype=np.uint64)
+            inj.per_level[lvl] = (sigs, words, ands, ors)
+        return inj
+
+    def apply(self, vals: np.ndarray, level: int) -> None:
+        group = self.per_level.get(level)
+        if group is None:
+            return
+        sigs, words, ands, ors = group
+        vals[sigs, words] = (vals[sigs, words] & ands) | ors
+
+    @property
+    def max_level(self) -> int:
+        return max(self.per_level, default=-1)
+
+
+class CompiledModel:
+    """A circuit compiled for bit-parallel evaluation.
+
+    Signals are indexed ``0 .. n_signals-1``; the index arrays ``pi_idx``,
+    ``q_idx``, ``d_idx`` and ``po_idx`` locate primary inputs, flop outputs
+    (scan order), flop D nets (scan order) and primary outputs.
+    """
+
+    def __init__(self, circuit: Circuit, decompose: bool = True) -> None:
+        pin_map = None
+        if decompose and any(len(g.inputs) > 2 for g in circuit.iter_gates()):
+            circuit, pin_map = decompose_to_two_input(circuit)
+        self.circuit = circuit
+        self.pin_map = pin_map  # None means identity
+
+        lev = levelize(circuit)
+        self.depth = lev.depth
+
+        names: List[str] = circuit.inputs + circuit.state_vars + [
+            g.output for g in lev.order
+        ]
+        self.signal_index: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        self.signal_names: List[str] = names
+        self.n_signals = len(names)
+
+        idx = self.signal_index
+        self.pi_idx = np.array([idx[n] for n in circuit.inputs], dtype=np.intp)
+        self.q_idx = np.array([idx[n] for n in circuit.state_vars], dtype=np.intp)
+        self.d_idx = np.array([idx[n] for n in circuit.next_state_nets], dtype=np.intp)
+        self.po_idx = np.array([idx[n] for n in circuit.outputs], dtype=np.intp)
+
+        #: level of each signal (0 for PIs and flop outputs).
+        self.level_of_signal = np.zeros(self.n_signals, dtype=np.intp)
+        for name, lvl in lev.level_of.items():
+            self.level_of_signal[idx[name]] = lvl
+
+        self._levels: List[List[_OpGroup]] = []
+        for level_gates in lev.levels:
+            buckets: Dict[str, List[Gate]] = {"and2": [], "xor2": [], "unary": [], "const": []}
+            for gate in level_gates:
+                base = gate.gtype.base
+                if base in (GateType.AND, GateType.OR):
+                    buckets["and2"].append(gate)
+                elif base is GateType.XOR:
+                    buckets["xor2"].append(gate)
+                elif base is GateType.BUF:
+                    buckets["unary"].append(gate)
+                else:
+                    buckets["const"].append(gate)
+            ops: List[_OpGroup] = []
+            ones, zero = ALL_ONES, np.uint64(0)
+            if buckets["and2"]:
+                gates = buckets["and2"]
+                # De Morgan: OR(a,b) = ~(~a & ~b), so the OR family gets
+                # input inversion and flipped output inversion.
+                ia, ib, io = [], [], []
+                for g in gates:
+                    is_or = g.gtype.base is GateType.OR
+                    ia.append(ones if is_or else zero)
+                    ib.append(ones if is_or else zero)
+                    io.append(ones if is_or ^ g.gtype.is_inverting else zero)
+                ops.append(
+                    _OpGroup(
+                        kind="and2",
+                        dst=np.array([idx[g.output] for g in gates], dtype=np.intp),
+                        src1=np.array([idx[g.inputs[0]] for g in gates], dtype=np.intp),
+                        src2=np.array([idx[g.inputs[1]] for g in gates], dtype=np.intp),
+                        ia=np.array(ia, dtype=np.uint64),
+                        ib=np.array(ib, dtype=np.uint64),
+                        io=np.array(io, dtype=np.uint64),
+                    )
+                )
+            if buckets["xor2"]:
+                gates = buckets["xor2"]
+                ops.append(
+                    _OpGroup(
+                        kind="xor2",
+                        dst=np.array([idx[g.output] for g in gates], dtype=np.intp),
+                        src1=np.array([idx[g.inputs[0]] for g in gates], dtype=np.intp),
+                        src2=np.array([idx[g.inputs[1]] for g in gates], dtype=np.intp),
+                        io=np.array(
+                            [ones if g.gtype.is_inverting else zero for g in gates],
+                            dtype=np.uint64,
+                        ),
+                    )
+                )
+            if buckets["unary"]:
+                gates = buckets["unary"]
+                ops.append(
+                    _OpGroup(
+                        kind="unary",
+                        dst=np.array([idx[g.output] for g in gates], dtype=np.intp),
+                        src1=np.array([idx[g.inputs[0]] for g in gates], dtype=np.intp),
+                        io=np.array(
+                            [ones if g.gtype.is_inverting else zero for g in gates],
+                            dtype=np.uint64,
+                        ),
+                    )
+                )
+            if buckets["const"]:
+                gates = buckets["const"]
+                ops.append(
+                    _OpGroup(
+                        kind="const",
+                        dst=np.array([idx[g.output] for g in gates], dtype=np.intp),
+                        io=np.array(
+                            [
+                                ones if g.gtype is GateType.CONST1 else zero
+                                for g in gates
+                            ],
+                            dtype=np.uint64,
+                        ),
+                    )
+                )
+            self._levels.append(ops)
+
+    # ------------------------------------------------------------------
+    def alloc(self, n_words: int) -> np.ndarray:
+        """A zeroed value matrix for ``n_words`` simulation words."""
+        return np.zeros((self.n_signals, n_words), dtype=np.uint64)
+
+    def set_inputs_from_bits(self, vals: np.ndarray, bits: Sequence[int]) -> None:
+        """Drive every PI with a scalar bit, replicated across all words."""
+        if len(bits) != len(self.pi_idx):
+            raise ValueError(
+                f"expected {len(self.pi_idx)} input bits, got {len(bits)}"
+            )
+        column = np.where(
+            np.asarray(bits, dtype=bool), ALL_ONES, np.uint64(0)
+        ).astype(np.uint64)
+        vals[self.pi_idx, :] = column[:, None]
+
+    def eval(self, vals: np.ndarray, injections: Optional[Injections] = None) -> None:
+        """One combinational evaluation pass, in place.
+
+        The caller must have loaded PI and flop-output rows first.  With
+        ``injections`` the stuck values are forced as each level is
+        produced (level 0 = the loaded rows themselves).
+        """
+        if injections is not None:
+            injections.apply(vals, 0)
+        for lvl, ops in enumerate(self._levels, start=1):
+            for op in ops:
+                self._eval_group(vals, op)
+            if injections is not None:
+                injections.apply(vals, lvl)
+
+    @staticmethod
+    def _eval_group(vals: np.ndarray, op: _OpGroup) -> None:
+        if op.kind == "and2":
+            a = vals[op.src1]
+            a ^= op.ia[:, None]
+            b = vals[op.src2]
+            b ^= op.ib[:, None]
+            a &= b
+            a ^= op.io[:, None]
+            vals[op.dst] = a
+        elif op.kind == "xor2":
+            a = vals[op.src1]
+            a ^= vals[op.src2]
+            a ^= op.io[:, None]
+            vals[op.dst] = a
+        elif op.kind == "unary":
+            a = vals[op.src1]
+            a ^= op.io[:, None]
+            vals[op.dst] = a
+        else:  # const
+            vals[op.dst, :] = op.io[:, None]
+
+    # ------------------------------------------------------------------
+    def map_pin(self, consumer: str, pin: int) -> Tuple[str, int]:
+        """Translate an original-circuit pin through the decomposition map."""
+        if self.pin_map is None:
+            return (consumer, pin)
+        return self.pin_map[(consumer, pin)]
+
+    def index_of(self, name: str) -> int:
+        return self.signal_index[name]

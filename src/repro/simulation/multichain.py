@@ -1,0 +1,136 @@
+"""Multiple scan chains.
+
+The schemes the paper compares against ([5] Tsai et al., [6] Huang et
+al.) use *multiple* scan chains with a maximum chain length of 10, so a
+complete scan operation costs at most 10 cycles, and the last flip-flop
+of every chain is observed at every time unit.  This module provides the
+state-level model of such a configuration:
+
+- :class:`MultiChainConfig` -- a partition of the scan positions into
+  chains (each with its own scan-in/scan-out pin),
+- :func:`multi_shift` -- one limited/complete scan operation applied to
+  all chains in parallel: ``k`` shift cycles move every chain by ``k``
+  positions (chains shorter than ``k`` wrap fully through); the bits
+  leaving each chain are observed,
+- :func:`chain_tails` -- the per-cycle observation of the last flip-flop
+  of every chain used by [5]/[6].
+
+The paper's own scheme uses a single chain; this model exists so the
+comparison baselines can be simulated faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.scan import bit_to_word
+
+
+@dataclass(frozen=True)
+class MultiChainConfig:
+    """A partition of state positions into scan chains.
+
+    ``chains[c]`` lists the state-vector positions on chain ``c`` in scan
+    order (index 0 = scan-in end).  Positions must be disjoint; they need
+    not cover every flop (partial scan composes with multiple chains).
+    """
+
+    chains: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for chain in self.chains:
+            if not chain:
+                raise ValueError("empty scan chain")
+            for pos in chain:
+                if pos in seen:
+                    raise ValueError(f"position {pos} on two chains")
+                seen.add(pos)
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chains)
+
+    @property
+    def max_length(self) -> int:
+        return max((len(c) for c in self.chains), default=0)
+
+    @property
+    def scanned_positions(self) -> List[int]:
+        return sorted(p for chain in self.chains for p in chain)
+
+    def scan_cycles(self, k: int) -> int:
+        """Clock cycles for a k-shift operation (chains shift together)."""
+        return min(k, self.max_length) if k >= 0 else 0
+
+
+def balanced_chains(n_sv: int, max_length: int = 10) -> MultiChainConfig:
+    """Partition positions 0..n_sv-1 into chains of at most ``max_length``
+    (the [5]/[6] configuration), keeping chain lengths balanced."""
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    if n_sv == 0:
+        return MultiChainConfig(chains=())
+    n_chains = -(-n_sv // max_length)
+    base = n_sv // n_chains
+    extra = n_sv % n_chains
+    chains: List[Tuple[int, ...]] = []
+    pos = 0
+    for c in range(n_chains):
+        size = base + (1 if c < extra else 0)
+        chains.append(tuple(range(pos, pos + size)))
+        pos += size
+    return MultiChainConfig(chains=tuple(chains))
+
+
+def multi_shift(
+    state: np.ndarray,
+    config: MultiChainConfig,
+    k: int,
+    fill_bits: Sequence[Sequence[int]],
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Shift every chain by ``k`` positions simultaneously.
+
+    Args:
+        state: ``(n_sv, n_words)`` state matrix.
+        config: the chain partition.
+        k: shift cycles (a chain of length < k receives extra fill bits
+           and sheds all its original content).
+        fill_bits: per chain, the ``k`` bits scanned in (first bit ends
+           deepest, as in the single-chain model).
+
+    Returns:
+        ``(new_state, outs)`` with ``outs[c]`` of shape ``(k, n_words)``:
+        the bits leaving chain ``c`` in shift order.  Bits that originate
+        from fill (when ``k`` exceeds the chain length) are the fill bits
+        passing straight through.
+    """
+    if len(fill_bits) != config.num_chains:
+        raise ValueError("need one fill sequence per chain")
+    new_state = state.copy()
+    outs: List[np.ndarray] = []
+    n_words = state.shape[1]
+    for chain, fills in zip(config.chains, fill_bits):
+        if len(fills) != k:
+            raise ValueError(f"chain fill needs {k} bits, got {len(fills)}")
+        length = len(chain)
+        # Serial register semantics, one cycle at a time (k is small).
+        content = [state[p].copy() for p in chain]
+        out_rows = np.empty((k, n_words), dtype=np.uint64)
+        for cycle in range(k):
+            out_rows[cycle] = content[-1]
+            content = [np.full(n_words, bit_to_word(fills[cycle]), dtype=np.uint64)] + content[:-1]
+        for p, row in zip(chain, content):
+            new_state[p] = row
+        outs.append(out_rows)
+    return new_state, outs
+
+
+def chain_tails(state: np.ndarray, config: MultiChainConfig) -> np.ndarray:
+    """The last flip-flop of every chain: the [5]/[6] per-cycle
+    observation points.  Shape ``(num_chains, n_words)``."""
+    rows = [chain[-1] for chain in config.chains]
+    return state[rows, :]

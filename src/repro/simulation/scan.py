@@ -1,0 +1,106 @@
+"""Functional scan-chain operations.
+
+The scan chain is modelled at the state-register level: a state is a
+``(n_sv, n_words)`` ``uint64`` matrix (row = scan position, bit = machine
+copy).  Row 0 is the scan-in ("left") end and row ``n_sv - 1`` the
+scan-out ("right") end, matching the paper's convention that states are
+always shifted to the right and the new random values enter on the left.
+
+A *limited scan operation* of ``k`` shifts (``0 <= k <= n_sv``):
+
+- takes ``k`` clock cycles,
+- observes the ``k`` bits leaving the right end (in shift order), and
+- loads ``k`` fill bits at the left end (the first fill bit scanned in
+  ends up at position ``k - 1``).
+
+``k = n_sv`` is exactly a complete scan operation, which is how the paper's
+``D2 = N_SV + 1`` lets a limited scan span "no scan" to "complete scan".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.library import ALL_ONES
+
+
+def bit_to_word(bit: int) -> np.uint64:
+    """Replicate a scalar bit across all 64 bit-copies of a word."""
+    return ALL_ONES if bit else np.uint64(0)
+
+
+def word_to_bit(word: np.uint64) -> int:
+    """Collapse a replicated word back to a scalar bit (word must be
+    all-zeros or all-ones; asserts otherwise to catch divergence bugs)."""
+    w = int(word)
+    if w == 0:
+        return 0
+    if w == int(ALL_ONES):
+        return 1
+    raise ValueError(f"word 0x{w:016x} is not a replicated scalar bit")
+
+
+def limited_shift(
+    state: np.ndarray,
+    k: int,
+    fill_bits: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shift ``state`` right by ``k`` positions.
+
+    Args:
+        state: ``(n_sv, n_words)`` uint64 matrix.
+        k: number of shift cycles, ``0 <= k <= n_sv``.
+        fill_bits: ``k`` scalar bits scanned in at the left end, in the
+            order they are scanned in (identical for every machine copy,
+            as in the paper: the generator feeds fault-free and faulty
+            machines the same stream).
+
+    Returns:
+        ``(new_state, out_words)`` where ``out_words`` has shape
+        ``(k, n_words)``; row ``j`` is the word observed at shift cycle
+        ``j`` (the bit that started at position ``n_sv - 1 - j``).
+    """
+    n_sv = state.shape[0]
+    if not 0 <= k <= n_sv:
+        raise ValueError(f"shift amount {k} outside [0, {n_sv}]")
+    if len(fill_bits) != k:
+        raise ValueError(f"need {k} fill bits, got {len(fill_bits)}")
+    if k == 0:
+        return state.copy(), np.zeros((0, state.shape[1]), dtype=np.uint64)
+
+    out_words = state[n_sv - k :][::-1].copy()
+    new_state = np.empty_like(state)
+    new_state[k:] = state[: n_sv - k]
+    for j, bit in enumerate(fill_bits):
+        # The bit scanned in first travels furthest right.
+        new_state[k - 1 - j, :] = bit_to_word(bit)
+    return new_state, out_words
+
+
+def full_scan_state(
+    n_sv: int, si_bits: Sequence[int], n_words: int
+) -> np.ndarray:
+    """Build the state matrix produced by a complete scan-in of ``si_bits``.
+
+    ``si_bits[i]`` is the final content of scan position ``i`` (position 0
+    = left end), i.e. the paper's state string read left to right.
+    """
+    if len(si_bits) != n_sv:
+        raise ValueError(f"need {n_sv} scan-in bits, got {len(si_bits)}")
+    state = np.empty((n_sv, n_words), dtype=np.uint64)
+    for i, bit in enumerate(si_bits):
+        state[i, :] = bit_to_word(bit)
+    return state
+
+
+def state_to_bits(state: np.ndarray, word: int = 0, bit: int = 0) -> List[int]:
+    """Extract one machine copy of the state as a list of scalar bits."""
+    mask = np.uint64(1) << np.uint64(bit)
+    return [int(bool(state[i, word] & mask)) for i in range(state.shape[0])]
+
+
+def state_to_string(state: np.ndarray, word: int = 0, bit: int = 0) -> str:
+    """The paper's state-string rendering (left end first)."""
+    return "".join(str(b) for b in state_to_bits(state, word, bit))

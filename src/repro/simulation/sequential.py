@@ -1,0 +1,102 @@
+"""Fault-free sequential simulation of ``(SI, T)`` tests.
+
+This is the reference simulation path: one machine copy, scalar in/out,
+with optional limited-scan schedules.  The parallel-fault simulator in
+:mod:`repro.faults.fault_sim` uses the same compiled model and scan
+primitives; this module is what experiments and traces (Tables 1 and 2)
+are built from, and what the fault simulator's results are checked against
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.compiled import CompiledModel, Injections
+from repro.simulation.scan import (
+    full_scan_state,
+    limited_shift,
+    state_to_string,
+    word_to_bit,
+)
+from repro.simulation.trace import TestTrace, bits_to_string
+
+#: A limited-scan schedule: for each time unit ``u`` of the test, the pair
+#: ``(shift_amount, fill_bits)``; ``(0, [])`` means no limited scan at u.
+Schedule = Sequence[Tuple[int, Sequence[int]]]
+
+
+def simulate_test(
+    model: CompiledModel,
+    si_bits: Sequence[int],
+    vectors: Sequence[Sequence[int]],
+    schedule: Optional[Schedule] = None,
+    injections: Optional[Injections] = None,
+) -> TestTrace:
+    """Simulate one test and return its :class:`TestTrace`.
+
+    Args:
+        model: compiled circuit model.
+        si_bits: the scanned-in initial state (position 0 = left end).
+        vectors: the primary input vectors ``T(0) .. T(L-1)``.
+        schedule: optional limited-scan schedule (see :data:`Schedule`);
+            the shift at time unit ``u`` happens *before* vector ``u`` is
+            applied, per the paper's Table 1(b).
+        injections: optional stuck-value injections, which turns this into
+            a single-fault faulty-machine simulation (used by tests and by
+            the Table 1 example where the faulty column is shown).
+
+    Returns:
+        The complete trace, including states, outputs, shift amounts and
+        scanned-out bits.
+    """
+    n_sv = len(model.q_idx)
+    if len(si_bits) != n_sv:
+        raise ValueError(f"SI has {len(si_bits)} bits, circuit has {n_sv}")
+    if schedule is not None and len(schedule) != len(vectors):
+        raise ValueError("schedule length must equal the number of vectors")
+
+    state = full_scan_state(n_sv, si_bits, n_words=1)
+    vals = model.alloc(n_words=1)
+
+    trace = TestTrace(
+        si=bits_to_string(list(si_bits)),
+        vectors=[bits_to_string(list(v)) for v in vectors],
+    )
+
+    for u, vector in enumerate(vectors):
+        shift_k, fill = (0, ())
+        if schedule is not None:
+            shift_k, fill = schedule[u]
+        pre_shift = None
+        scanned: List[int] = []
+        if shift_k > 0:
+            pre_shift = state_to_string(state)
+            state, out_words = limited_shift(state, shift_k, list(fill))
+            scanned = [word_to_bit(w) for w in out_words[:, 0]]
+        trace.pre_shift_states.append(pre_shift)
+        trace.shifts.append(shift_k)
+        trace.scanout.append(scanned)
+        trace.states.append(state_to_string(state))
+
+        model.set_inputs_from_bits(vals, list(vector))
+        vals[model.q_idx, :] = state
+        model.eval(vals, injections=injections)
+
+        po_bits = [word_to_bit(vals[i, 0]) for i in model.po_idx]
+        trace.outputs.append(bits_to_string(po_bits))
+        state = vals[model.d_idx, :].copy()
+
+    trace.states.append(state_to_string(state))
+    return trace
+
+
+def simulate_state_sequence(
+    model: CompiledModel,
+    si_bits: Sequence[int],
+    vectors: Sequence[Sequence[int]],
+) -> List[str]:
+    """Just the state strings ``S(0) .. S(L)`` (convenience for tests)."""
+    return simulate_test(model, si_bits, vectors).states

@@ -1,0 +1,118 @@
+"""Trace records in the style of the paper's Tables 1 and 2.
+
+:class:`TestTrace` captures the per-time-unit view of a simulated test --
+the state before the vector, the vector, the output, the number of limited
+scan shifts, and the bits scanned out -- and can expand itself into the
+timing-accurate row sequence of Table 2, where a limited scan of ``k``
+shifts occupies ``k`` extra clock cycles and delays the vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+def bits_to_string(bits: List[int]) -> str:
+    return "".join(str(b) for b in bits)
+
+
+@dataclass
+class TimingRow:
+    """One clock cycle of the timing-accurate (Table 2) view."""
+
+    cycle: int
+    kind: str  # 'vector', 'shift', or 'final'
+    vector: Optional[str]  # PI vector string, None during shift cycles
+    state: str
+    output: Optional[str]  # None during shift cycles / final row
+    scanned_out: Optional[int]  # bit leaving the chain on a shift cycle
+
+
+@dataclass
+class TestTrace:
+    """Complete record of one simulated ``(SI, T)`` test.
+
+    Indexing convention (paper's Table 1): at time unit ``u`` the state is
+    ``states[u]``, vector ``vectors[u]`` is applied (after ``shifts[u]``
+    limited-scan shifts, if any), producing output ``outputs[u]``; the
+    final captured state is ``states[L]``.
+    """
+
+    si: str
+    vectors: List[str]
+    states: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    shifts: List[int] = field(default_factory=list)
+    scanout: List[List[int]] = field(default_factory=list)  # per-u shifted-out bits
+    pre_shift_states: List[Optional[str]] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.vectors)
+
+    @property
+    def total_shift_cycles(self) -> int:
+        """The test's contribution to ``N_SH`` (extra clock cycles)."""
+        return sum(self.shifts)
+
+    def table1_rows(self) -> List[str]:
+        """Rows in the layout of Table 1(b): u, shift(u), T(u), S(u), Z(u)."""
+        rows = []
+        for u, vec in enumerate(self.vectors):
+            rows.append(
+                f"{u:<3} {self.shifts[u]:<8} {vec:<10} "
+                f"{self.states[u]:<12} {self.outputs[u]}"
+            )
+        rows.append(f"{self.length:<3} {'':<8} {'':<10} {self.states[self.length]:<12}")
+        return rows
+
+    def timing_rows(self) -> List[TimingRow]:
+        """The Table 2 expansion: shifts occupy their own clock cycles."""
+        rows: List[TimingRow] = []
+        cycle = 0
+        for u, vec in enumerate(self.vectors):
+            k = self.shifts[u]
+            if k > 0:
+                # During shift cycles the displayed state is the pre-shift
+                # state (it is being consumed); the vector is delayed.
+                pre = self.pre_shift_states[u] or self.states[u]
+                for j in range(k):
+                    rows.append(
+                        TimingRow(
+                            cycle=cycle,
+                            kind="shift",
+                            vector=None,
+                            state=pre,
+                            output=None,
+                            scanned_out=self.scanout[u][j],
+                        )
+                    )
+                    cycle += 1
+            rows.append(
+                TimingRow(
+                    cycle=cycle,
+                    kind="vector",
+                    vector=vec,
+                    state=self.states[u],
+                    output=self.outputs[u],
+                    scanned_out=None,
+                )
+            )
+            cycle += 1
+        rows.append(
+            TimingRow(
+                cycle=cycle,
+                kind="final",
+                vector=None,
+                state=self.states[self.length],
+                output=None,
+                scanned_out=None,
+            )
+        )
+        return rows
+
+    def render(self, title: str = "") -> str:
+        header = f"u   shift(u) T(u)       S(u)         Z(u)"
+        lines = ([title] if title else []) + [header] + self.table1_rows()
+        return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench_circuits.s27 import s27_circuit
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.model import FaultGraph
+
+
+@pytest.fixture
+def s27():
+    return s27_circuit()
+
+
+@pytest.fixture
+def s27_graph(s27):
+    return FaultGraph(s27)
+
+
+@pytest.fixture
+def tiny_synth():
+    """A small deterministic synthetic circuit (fast in every test)."""
+    return synthesize(
+        SyntheticSpec(name="tiny", n_pi=4, n_po=2, n_ff=3, n_gates=24, seed=11)
+    )
+
+
+@pytest.fixture
+def medium_synth():
+    """s208-shaped synthetic circuit."""
+    return synthesize(
+        SyntheticSpec(name="mini208", n_pi=10, n_po=1, n_ff=8, n_gates=96, seed=5)
+    )
+
+
+def build_mux_circuit() -> Circuit:
+    """A hand-built 2:1 mux with a flop: known truth table for oracles.
+
+    out = (a AND sel) OR (b AND NOT sel); flop captures out.
+    """
+    c = Circuit("mux")
+    for name in ("a", "b", "sel"):
+        c.add_input(name)
+    c.add_output("out")
+    c.add_gate("nsel", GateType.NOT, ["sel"])
+    c.add_gate("t1", GateType.AND, ["a", "sel"])
+    c.add_gate("t2", GateType.AND, ["b", "nsel"])
+    c.add_gate("out", GateType.OR, ["t1", "t2"])
+    c.add_flop("q0", "out")
+    return c
+
+
+@pytest.fixture
+def mux_circuit():
+    return build_mux_circuit()

@@ -1,0 +1,70 @@
+"""Smoke tests for the ablation experiment drivers (s27 scale)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.common import bist_for
+
+
+class TestObservationAblation:
+    def test_full_policy_dominates(self):
+        rows = ablations.observation_ablation("s27")
+        assert rows[0].label.startswith("po +")
+        full = rows[0].detected
+        assert all(r.detected <= full for r in rows[1:])
+        assert all(r.num_targets == rows[0].num_targets for r in rows)
+
+    def test_render(self):
+        rows = ablations.observation_ablation("s27")
+        text = ablations.render_rows(rows, "title")
+        assert "title" in text and "detected" in text
+
+
+class TestFullScanCost:
+    def test_limited_cheaper(self):
+        limited, widened = ablations.full_scan_cost("s27")
+        assert widened.cycles > limited.cycles
+        assert limited.num_targets == widened.num_targets
+
+
+class TestReseedAndD2:
+    def test_reseed_ablation_keys(self):
+        out = ablations.reseed_ablation("s27")
+        assert set(out) == {"reseed-per-test", "one-stream"}
+        for res in out.values():
+            assert res.num_targets == 32
+
+    def test_d2_sweep_labels(self):
+        out = ablations.d2_sweep("s27", d2_values=(2, None))
+        assert set(out) == {"D2=2", "D2=N_SV+1"}
+
+
+class TestPartialScan:
+    def test_partial_scan_runs(self):
+        res = ablations.partial_scan_experiment("s27", fraction=0.67)
+        assert res.n_sv == 2
+        assert 0 <= res.det_total <= res.num_targets
+
+
+class TestNewExperiments:
+    def test_compaction_summary(self):
+        text = ablations.compaction_experiment("s27")
+        assert "compaction:" in text
+
+    def test_transition_summary(self):
+        text = ablations.transition_fault_experiment("s27")
+        assert "transition faults" in text
+        assert "detect 0" in text  # single-vector always detects zero
+
+    def test_misr_validation_no_aliasing(self):
+        text = ablations.misr_validation("s27")
+        assert "0 aliased" in text
+
+    def test_run_length_report(self):
+        text = ablations.run_length_report("s27")
+        assert "D1=1" in text and "D1=10" in text
+
+    def test_tat_reduction(self):
+        text = ablations.tat_reduction_experiment("s27")
+        assert "TAT" in text
+        assert "coverage 32 -> 32" in text

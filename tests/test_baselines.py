@@ -1,0 +1,114 @@
+"""Tests for the baseline schemes."""
+
+import pytest
+
+from repro.core.baselines import (
+    full_scan_insertion,
+    multi_seed,
+    single_vector_bist,
+    ts0_only,
+)
+from repro.core.config import BistConfig
+from repro.core.cost import ncyc0
+from repro.core.limited_scan import build_limited_scan_test_set
+from repro.core.test_set import generate_ts0
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.bench_circuits.s27 import s27_circuit
+
+    circuit = s27_circuit()
+    return circuit, FaultSimulator(circuit), collapse_faults(circuit)
+
+
+class TestTs0Only:
+    def test_cycles_match_formula(self, setup):
+        circuit, sim, faults = setup
+        cfg = BistConfig(la=4, lb=8, n=4)
+        res = ts0_only(circuit, cfg, faults, simulator=sim)
+        assert res.cycles == ncyc0(3, 4, 8, 4)
+        assert 0 < res.detected <= len(faults)
+        assert 0.0 < res.coverage <= 1.0
+
+    def test_summary(self, setup):
+        circuit, sim, faults = setup
+        res = ts0_only(circuit, BistConfig(la=4, lb=8, n=4), faults, simulator=sim)
+        assert "TS0-only" in res.summary()
+
+
+class TestMultiSeed:
+    def test_respects_budget(self, setup):
+        circuit, sim, faults = setup
+        cfg = BistConfig(la=4, lb=8, n=4)
+        per_app = ncyc0(3, 4, 8, 4)
+        res = multi_seed(circuit, cfg, faults, cycle_budget=per_app * 3, simulator=sim)
+        assert res.cycles <= per_app * 3
+        assert res.applications <= 3
+
+    def test_more_budget_never_worse(self, setup):
+        circuit, sim, faults = setup
+        cfg = BistConfig(la=4, lb=8, n=4)
+        per_app = ncyc0(3, 4, 8, 4)
+        small = multi_seed(circuit, cfg, faults, cycle_budget=per_app, simulator=sim)
+        large = multi_seed(
+            circuit, cfg, faults, cycle_budget=per_app * 8, simulator=sim
+        )
+        assert large.detected >= small.detected
+
+    def test_stops_early_at_full_coverage(self, setup):
+        circuit, sim, faults = setup
+        cfg = BistConfig(la=8, lb=16, n=64)
+        res = multi_seed(
+            circuit, cfg, faults, cycle_budget=10**9, simulator=sim
+        )
+        # s27 is easy: a couple of applications at most.
+        assert res.applications < 10
+
+
+class TestSingleVectorBist:
+    def test_respects_budget(self, setup):
+        circuit, sim, faults = setup
+        res = single_vector_bist(
+            circuit, faults, cycle_budget=400, simulator=sim
+        )
+        assert res.cycles <= 400
+
+    def test_zero_budget(self, setup):
+        circuit, sim, faults = setup
+        res = single_vector_bist(circuit, faults, cycle_budget=0, simulator=sim)
+        assert res.detected == 0
+        assert res.cycles == 0
+
+    def test_reaches_high_coverage_on_s27(self, setup):
+        circuit, sim, faults = setup
+        res = single_vector_bist(
+            circuit, faults, cycle_budget=50_000, simulator=sim
+        )
+        assert res.coverage == 1.0  # s27 is fully random-testable
+
+
+class TestFullScanInsertion:
+    def test_costs_more_than_limited(self, setup):
+        """The paper's motivation: same insertion points, complete scans
+        cost strictly more cycles (N_SV vs < N_SV shifts each)."""
+        circuit, sim, faults = setup
+        cfg = BistConfig(la=4, lb=8, n=8)
+        ts0 = generate_ts0(circuit, cfg)
+        ts = build_limited_scan_test_set(ts0, 1, 1, cfg, 3)
+        limited_cycles = ncyc0(3, 4, 8, 8) + sum(
+            t.total_shift_cycles for t in ts
+        )
+        res = full_scan_insertion(
+            circuit, cfg, faults, iteration=1, d1=1, simulator=sim
+        )
+        assert res.cycles > limited_cycles
+
+    def test_widened_schedules_are_complete_scans(self, setup):
+        circuit, sim, faults = setup
+        cfg = BistConfig(la=4, lb=8, n=2)
+        res = full_scan_insertion(circuit, cfg, faults, simulator=sim)
+        assert res.detected >= 0  # executed without error
+        assert "full-scan-insertion" in res.name

@@ -1,0 +1,122 @@
+"""Tests for the benchmark catalog and the synthetic generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_circuits.catalog import (
+    available_circuits,
+    circuit_info,
+    load_circuit,
+)
+from repro.bench_circuits.s27 import S27_BENCH, s27_circuit
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.circuit.bench_parser import write_bench
+from repro.circuit.validate import find_dangling, validate_circuit
+
+
+class TestS27:
+    def test_is_the_real_netlist(self):
+        c = s27_circuit()
+        assert c.num_inputs == 4
+        assert c.num_outputs == 1
+        assert c.num_state_vars == 3
+        assert c.num_gates == 10
+        # The canonical collapsed fault count (see test_collapse).
+
+    def test_bench_text_parses(self):
+        assert "G17 = NOT(G11)" in S27_BENCH
+
+
+class TestCatalog:
+    def test_all_paper_circuits_present(self):
+        names = set(available_circuits())
+        expected = {
+            "s27", "s208", "s298", "s344", "s382", "s400", "s420", "s510",
+            "s641", "s820", "s953", "s1196", "s1423", "s5378", "s35932",
+            "b01", "b02", "b03", "b04", "b06", "b09", "b10", "b11",
+        }
+        assert expected <= names
+
+    def test_tier_filter(self):
+        small = available_circuits(tier="small")
+        assert "s208" in small
+        assert "s5378" not in small
+        assert "s5378" in available_circuits(tier="large")
+
+    def test_unknown_circuit(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            circuit_info("s9999")
+
+    @pytest.mark.parametrize(
+        "name", ["s208", "s298", "s420", "b01", "b09", "s953"]
+    )
+    def test_interface_matches_published_stats(self, name):
+        entry = circuit_info(name)
+        circuit = load_circuit(name)
+        assert circuit.num_inputs == entry.n_pi
+        assert circuit.num_outputs == entry.n_po
+        assert circuit.num_state_vars == entry.n_ff
+        assert circuit.num_gates == entry.n_gates
+
+    def test_nsv_for_table5_circuits(self):
+        """The Table 5 N_SV values must be realized by the catalog."""
+        assert load_circuit("s382").num_state_vars == 21
+        assert load_circuit("s400").num_state_vars == 21
+        assert load_circuit("s1423").num_state_vars == 74
+
+    @pytest.mark.parametrize("name", ["s208", "b01", "s382"])
+    def test_deterministic(self, name):
+        a = write_bench(load_circuit(name))
+        b = write_bench(load_circuit(name))
+        assert a == b
+
+    @pytest.mark.parametrize("name", available_circuits(tier="small"))
+    def test_small_tier_is_structurally_valid(self, name):
+        circuit = load_circuit(name)
+        validate_circuit(circuit)
+        assert len(find_dangling(circuit)) <= 2
+
+
+class TestSyntheticGenerator:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", n_pi=0, n_po=1, n_ff=1, n_gates=10)
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", n_pi=1, n_po=0, n_ff=0, n_gates=10)
+        with pytest.raises(ValueError):
+            SyntheticSpec(name="x", n_pi=1, n_po=5, n_ff=5, n_gates=3)
+
+    def test_seed_from_name(self):
+        a = SyntheticSpec(name="foo", n_pi=2, n_po=1, n_ff=1, n_gates=10)
+        b = SyntheticSpec(name="foo", n_pi=2, n_po=1, n_ff=1, n_gates=10)
+        assert a.resolved_seed() == b.resolved_seed()
+        c = SyntheticSpec(name="bar", n_pi=2, n_po=1, n_ff=1, n_gates=10)
+        assert a.resolved_seed() != c.resolved_seed()
+
+    def test_explicit_seed_wins(self):
+        s = SyntheticSpec(name="foo", n_pi=2, n_po=1, n_ff=1, n_gates=10, seed=3)
+        assert s.resolved_seed() == 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n_pi=st.integers(min_value=1, max_value=12),
+        n_po=st.integers(min_value=1, max_value=6),
+        n_ff=st.integers(min_value=0, max_value=10),
+        n_gates=st.integers(min_value=20, max_value=120),
+    )
+    def test_generator_property(self, seed, n_pi, n_po, n_ff, n_gates):
+        """Every generated circuit is valid, matches its spec, has no
+        combinational cycles and (almost) no dangling nets."""
+        spec = SyntheticSpec(
+            name="h", n_pi=n_pi, n_po=n_po, n_ff=n_ff, n_gates=n_gates,
+            seed=seed,
+        )
+        circuit = synthesize(spec)
+        validate_circuit(circuit)  # includes cycle check
+        assert circuit.num_inputs == n_pi
+        assert circuit.num_outputs == n_po
+        assert circuit.num_state_vars == n_ff
+        assert circuit.num_gates == n_gates
+        dangling = find_dangling(circuit)
+        assert len(dangling) <= max(2, len(circuit.signals()) // 20)

@@ -1,0 +1,85 @@
+"""Tests for the .bench parser and writer."""
+
+import pytest
+
+from repro.bench_circuits.s27 import S27_BENCH
+from repro.circuit.bench_parser import (
+    BenchParseError,
+    parse_bench,
+    write_bench,
+)
+from repro.circuit.library import GateType
+
+
+class TestParse:
+    def test_parse_s27(self):
+        c = parse_bench(S27_BENCH, name="s27")
+        assert c.num_inputs == 4
+        assert c.num_gates == 10
+        assert c.state_vars == ["G5", "G6", "G7"]
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        INPUT(a)   # trailing comment
+        OUTPUT(y)
+        y = NOT(a)
+        """
+        c = parse_bench(text)
+        assert c.num_inputs == 1
+        assert c.gate_for("y").gtype is GateType.NOT
+
+    def test_aliases(self):
+        text = "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = INV(a)\nz = BUFF(a)\n"
+        c = parse_bench(text)
+        assert c.gate_for("y").gtype is GateType.NOT
+        assert c.gate_for("z").gtype is GateType.BUF
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(y)\ny = nand(a, a2)\ninput(a2)\n"
+        c = parse_bench(text)
+        assert c.gate_for("y").gtype is GateType.NAND
+
+    def test_forward_references_allowed(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, t)\nt = NOT(a)\n"
+        c = parse_bench(text)
+        assert c.num_gates == 2
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            parse_bench("INPUT(a)\ny = FROB(a)\n")
+
+    def test_malformed_line(self):
+        with pytest.raises(BenchParseError, match="line 2"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_dff_arity(self):
+        with pytest.raises(BenchParseError, match="DFF"):
+            parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n")
+
+    def test_duplicate_driver_reported_with_line(self):
+        text = "INPUT(a)\ny = NOT(a)\ny = BUF(a)\n"
+        with pytest.raises(BenchParseError, match="line 3"):
+            parse_bench(text)
+
+
+class TestRoundTrip:
+    def test_s27_round_trip(self):
+        c1 = parse_bench(S27_BENCH, name="s27")
+        c2 = parse_bench(write_bench(c1), name="s27")
+        assert c1.inputs == c2.inputs
+        assert c1.outputs == c2.outputs
+        assert c1.state_vars == c2.state_vars
+        assert {g.output: (g.gtype, g.inputs) for g in c1.iter_gates()} == {
+            g.output: (g.gtype, g.inputs) for g in c2.iter_gates()
+        }
+
+    def test_round_trip_preserves_scan_order(self, tiny_synth):
+        text = write_bench(tiny_synth)
+        back = parse_bench(text)
+        assert back.state_vars == tiny_synth.state_vars
+
+    def test_synthetic_round_trip(self, medium_synth):
+        back = parse_bench(write_bench(medium_synth))
+        assert back.num_gates == medium_synth.num_gates
+        assert back.num_inputs == medium_synth.num_inputs

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, resolve_circuit
+
+
+class TestResolve:
+    def test_catalog_name(self):
+        assert resolve_circuit("s27").name == "s27"
+
+    def test_bench_file(self, tmp_path, s27):
+        from repro.circuit.bench_parser import write_bench_file
+
+        path = tmp_path / "c.bench"
+        write_bench_file(s27, path)
+        assert resolve_circuit(str(path)).num_gates == 10
+
+    def test_verilog_file(self, tmp_path, s27):
+        from repro.circuit.verilog import write_verilog_file
+
+        path = tmp_path / "c.v"
+        write_verilog_file(s27, path)
+        assert resolve_circuit(str(path)).num_gates == 10
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            resolve_circuit("nonexistent")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out and "synthetic" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "s27"]) == 0
+        assert "pi=4" in capsys.readouterr().out
+
+    def test_stats_with_testability(self, capsys):
+        assert main(["stats", "s27", "--testability"]) == 0
+        assert "SCOAP" in capsys.readouterr().out
+
+    def test_faults(self, capsys):
+        assert main(["faults", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "collapsed: 32" in out
+
+    def test_run(self, capsys):
+        code = main(["run", "s27", "--la", "4", "--lb", "8", "--n", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "complete" in out
+
+    def test_first_complete(self, capsys):
+        code = main(["first-complete", "s27", "--max-combos", "4"])
+        assert code == 0
+        assert "s27" in capsys.readouterr().out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        assert "N_SV = 21" in capsys.readouterr().out
+
+    def test_table_unknown(self, capsys):
+        assert main(["table", "99"]) == 2
+
+    def test_convert_to_verilog_and_back(self, tmp_path, capsys):
+        v_path = tmp_path / "s27.v"
+        b_path = tmp_path / "s27.bench"
+        assert main(["convert", "s27", str(v_path)]) == 0
+        assert main(["convert", str(v_path), str(b_path)]) == 0
+        from repro.circuit.bench_parser import parse_bench_file
+
+        assert parse_bench_file(b_path).num_gates == 10
+
+    def test_convert_unknown_format(self, tmp_path, capsys):
+        assert main(["convert", "s27", str(tmp_path / "x.json")]) == 2

@@ -1,0 +1,124 @@
+"""Tests for fault equivalence collapsing."""
+
+import pytest
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.collapse import (
+    collapse_faults,
+    collapse_ratio,
+    equivalence_classes,
+)
+from repro.faults.model import Fault, generate_faults
+
+
+def find_class(classes, fault):
+    for members in classes:
+        if fault in members:
+            return members
+    raise AssertionError(f"{fault} not in any class")
+
+
+class TestS27:
+    def test_collapsed_count_is_canonical(self, s27):
+        """The ISCAS-89 s27 collapses to 32 faults -- the number quoted
+        throughout the literature.  A strong end-to-end check of both the
+        netlist and the collapsing rules."""
+        assert len(collapse_faults(s27)) == 32
+
+    def test_ratio_below_one(self, s27):
+        assert 0.5 < collapse_ratio(s27) < 0.7
+
+    def test_classes_partition_universe(self, s27):
+        universe = generate_faults(s27)
+        classes = equivalence_classes(s27)
+        flat = [f for members in classes for f in members]
+        assert sorted(map(str, flat)) == sorted(map(str, universe))
+
+    def test_representatives_unique_per_class(self, s27):
+        collapsed = collapse_faults(s27)
+        assert len(set(collapsed)) == len(collapsed)
+
+
+class TestRules:
+    def _single_gate(self, gtype, n_inputs=2):
+        c = Circuit()
+        names = [f"i{k}" for k in range(n_inputs)]
+        for n in names:
+            c.add_input(n)
+        c.add_output("y")
+        c.add_gate("y", gtype, names)
+        return c
+
+    def test_and_inputs_sa0_equivalent_to_output_sa0(self):
+        c = self._single_gate(GateType.AND)
+        classes = equivalence_classes(c)
+        cls = find_class(classes, Fault(site="y", value=0))
+        assert Fault(site="i0", value=0) in cls
+        assert Fault(site="i1", value=0) in cls
+        assert len(cls) == 3
+
+    def test_nand_inputs_sa0_equivalent_to_output_sa1(self):
+        c = self._single_gate(GateType.NAND)
+        cls = find_class(equivalence_classes(c), Fault(site="y", value=1))
+        assert Fault(site="i0", value=0) in cls
+
+    def test_or_inputs_sa1_equivalent_to_output_sa1(self):
+        c = self._single_gate(GateType.OR)
+        cls = find_class(equivalence_classes(c), Fault(site="y", value=1))
+        assert {Fault(site="i0", value=1), Fault(site="i1", value=1)} <= set(cls)
+
+    def test_nor_rule(self):
+        c = self._single_gate(GateType.NOR)
+        cls = find_class(equivalence_classes(c), Fault(site="y", value=0))
+        assert Fault(site="i0", value=1) in cls
+
+    def test_xor_has_no_equivalences(self):
+        c = self._single_gate(GateType.XOR)
+        classes = equivalence_classes(c)
+        assert all(len(m) == 1 for m in classes)
+
+    def test_not_chain_collapses_fully(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("t1", GateType.NOT, ["a"])
+        c.add_gate("t2", GateType.NOT, ["t1"])
+        c.add_gate("y", GateType.NOT, ["t2"])
+        classes = equivalence_classes(c)
+        # All four nets chain into two classes (one per polarity).
+        assert sorted(len(m) for m in classes) == [4, 4]
+
+    def test_branch_fault_not_equivalent_to_stem(self):
+        """With fanout, the input-pin (branch) fault is its own line."""
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_output("y")
+        c.add_output("z")
+        c.add_gate("y", GateType.AND, ["a", "b"])
+        c.add_gate("z", GateType.OR, ["a", "b"])
+        classes = equivalence_classes(c)
+        # a s-a-0 stem is NOT in the class of y s-a-0 (the branch is).
+        cls_y0 = find_class(classes, Fault(site="y", value=0))
+        assert Fault(site="a", value=0) not in cls_y0
+        assert Fault(site="a", value=0, consumer="y", pin=0) in cls_y0
+
+    def test_flop_boundary_not_collapsed(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("d", GateType.NOT, ["a"])
+        c.add_flop("q", "d")
+        c.add_gate("y", GateType.BUF, ["q"])
+        classes = equivalence_classes(c)
+        cls_d = find_class(classes, Fault(site="d", value=0))
+        assert Fault(site="q", value=0) not in cls_d
+
+    def test_representative_prefers_stem(self, s27):
+        for rep in collapse_faults(s27):
+            # If the class has any stem fault, the representative is one.
+            classes = equivalence_classes(s27)
+            cls = find_class(classes, rep)
+            if any(not f.is_branch for f in cls):
+                assert not rep.is_branch

@@ -1,0 +1,69 @@
+"""Tests for (I, D1) pair compaction."""
+
+import pytest
+
+from repro.core.compaction import compact_pairs, pair_detection_sets
+from repro.core.config import BistConfig
+from repro.core.procedure2 import run_procedure2
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s208_run():
+    from repro.bench_circuits import load_circuit
+    from repro.atpg.classify import classify_faults
+
+    circuit = load_circuit("s208")
+    sim = FaultSimulator(circuit)
+    targets = classify_faults(circuit).target_faults
+    cfg = BistConfig(la=4, lb=8, n=16)  # small TS0 -> many pairs
+    result = run_procedure2(circuit, cfg, targets, simulator=sim)
+    return circuit, sim, targets, result
+
+
+class TestCompaction:
+    def test_preserves_coverage(self, s208_run):
+        circuit, sim, targets, result = s208_run
+        comp = compact_pairs(circuit, result, targets, simulator=sim)
+        assert comp.coverage_after == comp.coverage_before
+
+    def test_never_more_pairs(self, s208_run):
+        circuit, sim, targets, result = s208_run
+        comp = compact_pairs(circuit, result, targets, simulator=sim)
+        assert comp.pairs_after <= comp.pairs_before
+        assert comp.pairs_before == result.app
+
+    def test_cycles_never_increase(self, s208_run):
+        circuit, sim, targets, result = s208_run
+        comp = compact_pairs(circuit, result, targets, simulator=sim)
+        assert comp.cycles_after <= comp.cycles_before
+
+    def test_kept_pairs_in_original_order(self, s208_run):
+        circuit, sim, targets, result = s208_run
+        comp = compact_pairs(circuit, result, targets, simulator=sim)
+        keys = [(p.iteration, p.d1) for p in result.pairs]
+        kept_keys = [(p.iteration, p.d1) for p in comp.kept]
+        assert kept_keys == [k for k in keys if k in set(kept_keys)]
+
+    def test_detection_sets_cover_pair_contributions(self, s208_run):
+        """Each pair's full (no-drop) detection set contains at least its
+        incremental contribution from Procedure 2."""
+        circuit, sim, targets, result = s208_run
+        sets = pair_detection_sets(
+            circuit, result.config, result.pairs, targets, simulator=sim
+        )
+        for pair in result.pairs:
+            assert len(sets[(pair.iteration, pair.d1)]) >= pair.newly_detected
+
+    def test_summary(self, s208_run):
+        circuit, sim, targets, result = s208_run
+        comp = compact_pairs(circuit, result, targets, simulator=sim)
+        assert "compaction:" in comp.summary()
+
+    def test_empty_pairs_noop(self, s208_run):
+        circuit, sim, targets, _ = s208_run
+        cfg = BistConfig(la=8, lb=128, n=64)
+        rich = run_procedure2(circuit, cfg, targets, simulator=sim)
+        comp = compact_pairs(circuit, rich, targets, simulator=sim)
+        assert comp.pairs_after == rich.app or comp.pairs_after < rich.app

@@ -1,0 +1,155 @@
+"""Tests for the compiled bit-parallel model, including an oracle check
+against the scalar gate library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.circuit.library import ALL_ONES, GateType, eval_gate_bits
+from repro.circuit.levelize import levelize
+from repro.circuit.netlist import Circuit
+from repro.simulation.compiled import CompiledModel, Injections
+
+
+def reference_eval(circuit: Circuit, input_bits, state_bits):
+    """Slow scalar interpreter used as the oracle."""
+    values = dict(zip(circuit.inputs, input_bits))
+    values.update(zip(circuit.state_vars, state_bits))
+    for gate in levelize(circuit).order:
+        values[gate.output] = eval_gate_bits(
+            gate.gtype, [values[s] for s in gate.inputs]
+        )
+    return values
+
+
+class TestCompiledModel:
+    def test_signal_indexing(self, s27):
+        model = CompiledModel(s27)
+        assert model.n_signals == 17
+        assert len(model.pi_idx) == 4
+        assert len(model.q_idx) == 3
+        assert len(model.d_idx) == 3
+        assert len(model.po_idx) == 1
+
+    def test_eval_matches_reference_s27(self, s27):
+        model = CompiledModel(s27)
+        vals = model.alloc(1)
+        for trial in range(16):
+            pi = [(trial >> i) & 1 for i in range(4)]
+            st_bits = [(trial >> i) & 1 for i in range(3)]
+            model.set_inputs_from_bits(vals, pi)
+            for i, q in enumerate(model.q_idx):
+                vals[q, :] = ALL_ONES if st_bits[i] else np.uint64(0)
+            model.eval(vals)
+            ref = reference_eval(s27, pi, st_bits)
+            for name, idx in model.signal_index.items():
+                got = int(vals[idx, 0])
+                assert got in (0, int(ALL_ONES)), name
+                assert (got != 0) == bool(ref[name]), name
+
+    def test_wide_gates_are_decomposed(self):
+        c = Circuit()
+        for n in "abcd":
+            c.add_input(n)
+        c.add_output("y")
+        c.add_gate("y", GateType.AND, list("abcd"))
+        model = CompiledModel(c)
+        assert model.pin_map is not None
+        assert model.n_signals > 5  # chain internals exist
+
+    def test_set_inputs_wrong_arity(self, s27):
+        model = CompiledModel(s27)
+        vals = model.alloc(1)
+        with pytest.raises(ValueError):
+            model.set_inputs_from_bits(vals, [0, 1])
+
+    def test_independent_bits(self, s27):
+        """Different bits of a word are independent machine copies."""
+        model = CompiledModel(s27)
+        vals = model.alloc(1)
+        # bit 0: all inputs 0; bit 1: all inputs 1.
+        for i in model.pi_idx:
+            vals[i, 0] = np.uint64(0b10)
+        for q in model.q_idx:
+            vals[q, 0] = np.uint64(0b10)
+        model.eval(vals)
+        ref0 = reference_eval(s27, [0] * 4, [0] * 3)
+        ref1 = reference_eval(s27, [1] * 4, [1] * 3)
+        for name, idx in model.signal_index.items():
+            word = int(vals[idx, 0])
+            assert (word & 1) == ref0[name], name
+            assert ((word >> 1) & 1) == ref1[name], name
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=99_999),
+    pattern=st.integers(min_value=0, max_value=2**16 - 1),
+)
+def test_compiled_matches_reference_on_random_circuits(seed, pattern):
+    """Property: compiled evaluation == scalar oracle on random circuits."""
+    circuit = synthesize(
+        SyntheticSpec(name="r", n_pi=6, n_po=2, n_ff=4, n_gates=40, seed=seed)
+    )
+    model = CompiledModel(circuit)
+    pi = [(pattern >> i) & 1 for i in range(6)]
+    st_bits = [(pattern >> (6 + i)) & 1 for i in range(4)]
+    vals = model.alloc(1)
+    model.set_inputs_from_bits(vals, pi)
+    for i, q in enumerate(model.q_idx):
+        vals[q, :] = ALL_ONES if st_bits[i] else np.uint64(0)
+    model.eval(vals)
+    ref = reference_eval(circuit, pi, st_bits)
+    for name in circuit.signals():
+        idx = model.signal_index[name]
+        assert (int(vals[idx, 0]) != 0) == bool(ref[name]), name
+
+
+class TestInjections:
+    def test_build_merges_same_location(self):
+        inj = Injections.build(
+            [(5, 0, 3, 1), (5, 0, 7, 0)], level_of_signal=[0] * 10
+        )
+        sigs, words, ands, ors = inj.per_level[0]
+        assert len(sigs) == 1
+        assert int(ors[0]) == 1 << 3
+        assert int(ands[0]) == int(ALL_ONES) & ~((1 << 3) | (1 << 7))
+
+    def test_apply_forces_bits(self):
+        inj = Injections.build([(0, 0, 2, 1), (1, 0, 2, 0)], [0, 0])
+        vals = np.zeros((2, 1), dtype=np.uint64)
+        vals[1, 0] = ALL_ONES
+        inj.apply(vals, 0)
+        assert int(vals[0, 0]) == 0b100
+        assert int(vals[1, 0]) == int(ALL_ONES) & ~0b100
+
+    def test_apply_only_at_its_level(self):
+        inj = Injections.build([(0, 0, 0, 1)], [3])
+        vals = np.zeros((1, 1), dtype=np.uint64)
+        inj.apply(vals, 0)
+        assert int(vals[0, 0]) == 0
+        inj.apply(vals, 3)
+        assert int(vals[0, 0]) == 1
+
+    def test_whole_word_injection(self):
+        inj = Injections.build_whole_word([(0, 0, 1)], [0])
+        vals = np.zeros((1, 1), dtype=np.uint64)
+        inj.apply(vals, 0)
+        assert int(vals[0, 0]) == int(ALL_ONES)
+
+    def test_injection_during_eval(self, s27):
+        model = CompiledModel(s27)
+        sig = model.index_of("G17")
+        inj = Injections.build_whole_word(
+            [(sig, 0, 1)], model.level_of_signal
+        )
+        vals = model.alloc(1)
+        model.set_inputs_from_bits(vals, [0, 0, 0, 0])
+        model.eval(vals, injections=inj)
+        assert int(vals[sig, 0]) == int(ALL_ONES)
+
+    def test_max_level(self):
+        inj = Injections.build([(0, 0, 0, 1), (1, 0, 0, 1)], [2, 5])
+        assert inj.max_level == 5
+        assert Injections().max_level == -1

@@ -1,0 +1,93 @@
+"""Tests for the clock-cycle cost model -- including exact agreement
+with the paper's published numbers."""
+
+import pytest
+
+from repro.core.cost import ncyc0, ncyc0_scaled, ncyc_pair, nsh, total_cycles
+from repro.faults.fault_sim import ScanTest
+
+
+class TestNcyc0PaperValues:
+    """Ncyc0 values transcribed from the paper's Tables 3, 4 and 5."""
+
+    @pytest.mark.parametrize(
+        "la,lb,n,expected",
+        [
+            (8, 16, 64, 2568),
+            (8, 32, 64, 3592),
+            (16, 32, 64, 4104),
+            (8, 64, 64, 5640),
+            (8, 128, 64, 9736),
+            (8, 256, 64, 17928),
+            (8, 16, 128, 5128),
+            (16, 32, 128, 8200),
+            (64, 128, 128, 26632),
+            (8, 16, 256, 10248),
+            (64, 256, 256, 86024),
+        ],
+    )
+    def test_table3_s208(self, la, lb, n, expected):
+        assert ncyc0(8, la, lb, n) == expected  # N_SV(s208) = 8
+
+    @pytest.mark.parametrize(
+        "la,lb,n,expected",
+        [
+            (8, 16, 64, 3600),
+            (8, 32, 64, 4624),
+            (16, 32, 64, 5136),
+            (32, 64, 64, 8208),
+            (64, 128, 64, 14352),
+            (8, 16, 128, 7184),
+            (64, 256, 128, 45072),
+            (8, 16, 256, 14352),
+            (64, 256, 256, 90128),
+        ],
+    )
+    def test_table4_s420(self, la, lb, n, expected):
+        assert ncyc0(16, la, lb, n) == expected  # N_SV(s420) = 16
+
+    @pytest.mark.parametrize(
+        "nsv,la,lb,n,expected",
+        [
+            (21, 8, 16, 64, 4245),
+            (21, 16, 32, 128, 11541),
+            (74, 8, 16, 64, 11082),
+            (74, 64, 128, 64, 21834),
+        ],
+    )
+    def test_table5_values(self, nsv, la, lb, n, expected):
+        assert ncyc0(nsv, la, lb, n) == expected
+
+
+class TestCostModel:
+    def test_formula_structure(self):
+        # (2N+1) * N_SV + N * (LA + LB)
+        assert ncyc0(10, 4, 8, 3) == 7 * 10 + 3 * 12
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ncyc0(-1, 4, 8, 3)
+
+    def test_nsh_sums_schedules(self):
+        tests = [
+            ScanTest(si=[0], vectors=[[0]], schedule=[(2, (0, 1))]),
+            ScanTest(si=[0], vectors=[[0]], schedule=[(0, ())]),
+            ScanTest(si=[0], vectors=[[0]]),
+        ]
+        assert nsh(tests) == 2
+
+    def test_ncyc_pair(self):
+        assert ncyc_pair(1000, 250) == 1250
+
+    def test_total_cycles(self):
+        # TS0 once + each pair pays Ncyc0 + its shifts.
+        assert total_cycles(1000, [10, 20]) == 1000 + 1010 + 1020
+        assert total_cycles(1000, []) == 1000
+
+    def test_scaled_scan_clock(self):
+        base = ncyc0(8, 8, 16, 64)
+        assert ncyc0_scaled(8, 8, 16, 64, 1.0) == base
+        # Slower scan clock inflates only the scan component.
+        assert ncyc0_scaled(8, 8, 16, 64, 2.0) == base + (2 * 64 + 1) * 8
+        with pytest.raises(ValueError):
+            ncyc0_scaled(8, 8, 16, 64, 0)

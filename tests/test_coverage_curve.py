@@ -1,0 +1,99 @@
+"""Tests for coverage-versus-cycles curves."""
+
+import pytest
+
+from repro.core.config import BistConfig
+from repro.core.coverage_curve import (
+    CoverageCurve,
+    proposed_scheme_curve,
+    single_vector_curve,
+    write_curves_csv,
+)
+from repro.core.procedure2 import run_procedure2
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s27_setup():
+    from repro.bench_circuits.s27 import s27_circuit
+
+    circuit = s27_circuit()
+    sim = FaultSimulator(circuit)
+    faults = collapse_faults(circuit)
+    cfg = BistConfig(la=4, lb=8, n=4)
+    result = run_procedure2(circuit, cfg, faults, simulator=sim)
+    return circuit, sim, faults, result
+
+
+class TestCoverageCurve:
+    def test_monotone_enforced(self):
+        curve = CoverageCurve(label="x", num_targets=10)
+        curve.add(100, 5)
+        with pytest.raises(ValueError):
+            curve.add(50, 6)
+
+    def test_cycles_to_reach(self):
+        curve = CoverageCurve(label="x", num_targets=10)
+        curve.add(100, 5)
+        curve.add(200, 10)
+        assert curve.cycles_to_reach(0.5) == 100
+        assert curve.cycles_to_reach(1.0) == 200
+        curve2 = CoverageCurve(label="y", num_targets=10)
+        curve2.add(100, 4)
+        assert curve2.cycles_to_reach(0.9) is None
+
+    def test_csv_format(self):
+        curve = CoverageCurve(label="x", num_targets=4)
+        curve.add(10, 2)
+        csv = curve.as_csv()
+        assert csv.startswith("cycles,detected,coverage")
+        assert "10,2,0.5" in csv
+
+
+class TestProposedCurve:
+    def test_matches_procedure2_endpoints(self, s27_setup):
+        circuit, sim, faults, result = s27_setup
+        curve = proposed_scheme_curve(circuit, result, faults, simulator=sim)
+        # One point for TS0 plus one per pair.
+        assert len(curve.points) == 1 + result.app
+        # First point = TS0 outcome, last = final outcome and total cycles.
+        assert curve.points[0] == (result.ncyc0, result.ts0_detected)
+        assert curve.points[-1] == (result.ncyc_total, result.det_total)
+
+    def test_coverage_non_decreasing(self, s27_setup):
+        circuit, sim, faults, result = s27_setup
+        curve = proposed_scheme_curve(circuit, result, faults, simulator=sim)
+        detections = [d for _, d in curve.points]
+        assert detections == sorted(detections)
+
+
+class TestSingleVectorCurve:
+    def test_budget_respected(self, s27_setup):
+        circuit, sim, faults, _ = s27_setup
+        curve = single_vector_curve(
+            circuit, faults, cycle_budget=2_000, simulator=sim
+        )
+        assert curve.points
+        assert all(c <= 2_000 for c, _ in curve.points)
+
+    def test_stops_at_full_coverage(self, s27_setup):
+        circuit, sim, faults, _ = s27_setup
+        curve = single_vector_curve(
+            circuit, faults, cycle_budget=100_000, simulator=sim
+        )
+        assert curve.final_coverage == 1.0
+
+
+class TestCsvWriter:
+    def test_multi_curve_csv(self, tmp_path, s27_setup):
+        circuit, sim, faults, result = s27_setup
+        a = proposed_scheme_curve(circuit, result, faults, simulator=sim)
+        b = single_vector_curve(
+            circuit, faults, cycle_budget=2_000, simulator=sim
+        )
+        path = tmp_path / "curves.csv"
+        write_curves_csv([a, b], path)
+        text = path.read_text()
+        assert "label,cycles,detected,coverage" in text
+        assert "limited-scan" in text and "single-vector" in text

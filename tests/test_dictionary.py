@@ -1,0 +1,98 @@
+"""Tests for fault dictionaries and diagnosis."""
+
+import pytest
+
+from repro.faults.collapse import collapse_faults
+from repro.faults.dictionary import (
+    build_dictionary,
+    diagnose,
+    simulate_defect,
+)
+from repro.faults.fault_sim import FaultSimulator, ScanTest
+from repro.rpg.prng import make_source
+
+
+@pytest.fixture(scope="module")
+def s27_dictionary():
+    from repro.bench_circuits.s27 import s27_circuit
+
+    circuit = s27_circuit()
+    faults = collapse_faults(circuit)
+    src = make_source(21)
+    tests = [
+        ScanTest(si=src.bits(3), vectors=[src.bits(4) for _ in range(4)])
+        for _ in range(12)
+    ]
+    return build_dictionary(circuit, tests, faults), faults
+
+
+class TestDictionary:
+    def test_signature_shape(self, s27_dictionary):
+        dictionary, faults = s27_dictionary
+        assert dictionary.num_tests == 12
+        assert set(dictionary.signatures) == set(faults)
+        for sig in dictionary.signatures.values():
+            assert len(sig) == 12
+
+    def test_signatures_match_fault_sim(self, s27_dictionary):
+        from repro.bench_circuits.s27 import s27_circuit
+
+        dictionary, faults = s27_dictionary
+        sim = FaultSimulator(s27_circuit())
+        for t, test in enumerate(dictionary.tests[:4]):
+            hits = set(sim.simulate([test], faults))
+            for fault in faults:
+                assert dictionary.signatures[fault][t] == (fault in hits)
+
+    def test_equivalence_groups_partition(self, s27_dictionary):
+        dictionary, faults = s27_dictionary
+        groups = dictionary.equivalence_groups()
+        assert sum(len(g) for g in groups) == len(faults)
+
+    def test_diagnostic_resolution_bounds(self, s27_dictionary):
+        dictionary, _ = s27_dictionary
+        assert 0.0 <= dictionary.diagnostic_resolution() <= 1.0
+
+    def test_detecting_tests(self, s27_dictionary):
+        dictionary, faults = s27_dictionary
+        for fault in faults[:5]:
+            for t in dictionary.detecting_tests(fault):
+                assert dictionary.signatures[fault][t]
+
+
+class TestDiagnosis:
+    def test_injected_defect_is_top_ranked(self, s27_dictionary):
+        """Closed loop: simulate a defect, diagnose, expect the true
+        fault at rank 1 (or tied with signature-equivalent faults)."""
+        dictionary, faults = s27_dictionary
+        detected_faults = [
+            f for f in faults if any(dictionary.signatures[f])
+        ]
+        hits = 0
+        for true_fault in detected_faults:
+            observed = simulate_defect(dictionary, true_fault)
+            ranked = diagnose(dictionary, observed, top_k=len(faults))
+            top_score = ranked[0].score
+            top_group = [c.fault for c in ranked if c.score == top_score]
+            if true_fault in top_group:
+                hits += 1
+        assert hits == len(detected_faults)
+
+    def test_perfect_candidate_has_no_mispredictions(self, s27_dictionary):
+        dictionary, faults = s27_dictionary
+        fault = next(f for f in faults if any(dictionary.signatures[f]))
+        observed = simulate_defect(dictionary, fault)
+        best = diagnose(dictionary, observed, top_k=1)[0]
+        assert best.mispredicted == 0
+        assert best.unexplained == 0
+
+    def test_observed_length_validated(self, s27_dictionary):
+        dictionary, _ = s27_dictionary
+        with pytest.raises(ValueError):
+            diagnose(dictionary, [True])
+
+    def test_all_pass_device(self, s27_dictionary):
+        """A defect-free device: the best candidates predict no fails."""
+        dictionary, _ = s27_dictionary
+        ranked = diagnose(dictionary, [False] * dictionary.num_tests, top_k=3)
+        assert ranked[0].explained == 0

@@ -1,0 +1,125 @@
+"""Equivalence of the grouped (batched) fault simulator with the
+per-test reference path, plus chunking behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator, ObservationPolicy, ScanTest
+from repro.rpg.prng import make_source
+
+
+def uniform_schedule_tests(circuit, n_tests, length, seed, d1=2):
+    """Tests sharing one schedule (the Procedure 1 reseed-per-test shape)."""
+    src = make_source(seed)
+    schedule = [(0, ())]
+    for _u in range(1, length):
+        if src.mod_draw(d1) == 0:
+            k = src.mod_draw(circuit.num_state_vars + 1)
+            schedule.append((k, tuple(src.bits(k))))
+        else:
+            schedule.append((0, ()))
+    tests = []
+    for _ in range(n_tests):
+        tests.append(
+            ScanTest(
+                si=src.bits(circuit.num_state_vars),
+                vectors=[src.bits(circuit.num_inputs) for _ in range(length)],
+                schedule=[(k, tuple(f)) for k, f in schedule],
+            )
+        )
+    return tests
+
+
+def mixed_tests(circuit, seed):
+    """Two shapes, as in TS0 (lengths L_A and L_B)."""
+    return uniform_schedule_tests(circuit, 5, 4, seed) + uniform_schedule_tests(
+        circuit, 5, 7, seed + 1
+    )
+
+
+class TestEquivalence:
+    def test_same_detection_set_s27(self, s27):
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        tests = mixed_tests(s27, 17)
+        assert set(sim.simulate(tests, faults)) == set(
+            sim.simulate_grouped(tests, faults)
+        )
+
+    def test_same_detection_set_medium(self, medium_synth):
+        sim = FaultSimulator(medium_synth)
+        faults = collapse_faults(medium_synth)
+        tests = mixed_tests(medium_synth, 4)
+        assert set(sim.simulate(tests, faults)) == set(
+            sim.simulate_grouped(tests, faults)
+        )
+
+    def test_same_under_restricted_policies(self, s27):
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        tests = mixed_tests(s27, 23)
+        for policy in (
+            ObservationPolicy(primary_outputs=False),
+            ObservationPolicy(limited_scan_out=False),
+            ObservationPolicy(final_scan_out=False),
+        ):
+            assert set(sim.simulate(tests, faults, policy)) == set(
+                sim.simulate_grouped(tests, faults, policy)
+            )
+
+    def test_chunking_does_not_change_results(self, s27):
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        tests = mixed_tests(s27, 5)
+        full = set(sim.simulate_grouped(tests, faults, max_cols=4096))
+        tiny = set(sim.simulate_grouped(tests, faults, max_cols=2))
+        assert full == tiny
+
+    def test_nonuniform_schedules_fall_back_correctly(self, s27):
+        """Tests with distinct schedules form singleton batches but the
+        detected set still matches the reference."""
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        src = make_source(77)
+        tests = []
+        for i in range(6):
+            schedule = [(0, ())]
+            for _u in range(1, 5):
+                k = src.mod_draw(4)
+                schedule.append((k, tuple(src.bits(k))))
+            tests.append(
+                ScanTest(
+                    si=src.bits(3),
+                    vectors=[src.bits(4) for _ in range(5)],
+                    schedule=schedule,
+                )
+            )
+        assert set(sim.simulate(tests, faults)) == set(
+            sim.simulate_grouped(tests, faults)
+        )
+
+    def test_records_reference_real_tests(self, s27):
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        tests = mixed_tests(s27, 29)
+        for fault, rec in sim.simulate_grouped(tests, faults).items():
+            assert 0 <= rec.test_index < len(tests)
+            assert rec.where in ("po", "limited-scan", "scan-out")
+            assert 0 <= rec.time_unit <= tests[rec.test_index].length
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_grouped_equivalence_property(seed):
+    """Property: grouped == per-test on random circuits and schedules."""
+    circuit = synthesize(
+        SyntheticSpec(name="g", n_pi=5, n_po=2, n_ff=4, n_gates=30, seed=seed)
+    )
+    sim = FaultSimulator(circuit)
+    faults = collapse_faults(circuit)
+    tests = uniform_schedule_tests(circuit, 6, 5, seed=seed + 1, d1=1)
+    assert set(sim.simulate(tests, faults)) == set(
+        sim.simulate_grouped(tests, faults)
+    )

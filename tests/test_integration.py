@@ -1,0 +1,98 @@
+"""End-to-end integration tests asserting the paper's qualitative claims.
+
+These are the 'shape' checks from DESIGN.md section 5: the exact numbers
+depend on the synthetic netlists, but the relationships the paper reports
+must hold.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.baselines import ts0_only
+from repro.core.config import BistConfig
+from repro.core.cost import ncyc0
+from repro.experiments.common import bist_for
+
+
+@pytest.fixture(scope="module")
+def s208():
+    return bist_for("s208")
+
+
+class TestPaperClaims:
+    def test_limited_scan_lifts_incomplete_ts0_to_complete(self, s208):
+        """The central claim: TS0 alone is incomplete on random-pattern-
+        resistant circuits; adding randomly-inserted limited scan
+        operations reaches 100% of detectable faults."""
+        res = s208.run(8, 16, 64)
+        assert res.ts0_detected < res.num_targets  # RP-resistance exists
+        assert res.complete
+        assert res.app >= 1
+
+    def test_cycles_increase_with_coverage(self, s208):
+        res = s208.run(8, 16, 64)
+        assert res.ncyc_total > res.ncyc0
+
+    def test_ncyc0_monotone_in_each_parameter(self):
+        """Table 3/4 claim: Ncyc0 increases with each of LA, LB, N."""
+        n_sv = 8
+        assert ncyc0(n_sv, 8, 16, 64) < ncyc0(n_sv, 8, 32, 64)
+        assert ncyc0(n_sv, 8, 32, 64) < ncyc0(n_sv, 16, 32, 64)
+        assert ncyc0(n_sv, 8, 16, 64) < ncyc0(n_sv, 8, 16, 128)
+
+    def test_decreasing_d1_lowers_ls(self, s208):
+        """Table 7 claim: trying D1 = 10..1 yields a lower average number
+        of limited-scan time units than 1..10."""
+        inc = s208.run(8, 16, 64)
+        cfg = dataclasses.replace(
+            s208.config.with_lengths(8, 16, 64),
+            d1_values=tuple(range(10, 0, -1)),
+        )
+        dec = s208.run(config=cfg)
+        if inc.pairs and dec.pairs:
+            assert dec.ls_average < inc.ls_average
+
+    def test_larger_parameters_reduce_app(self, s208):
+        """Table 8 claim: growing (LA, LB, N) reduces the number of
+        stored (I, D1) pairs (not necessarily strictly at every step)."""
+        small = s208.run(8, 16, 64)
+        large = s208.run(16, 128, 256)
+        assert large.app <= small.app
+
+    def test_ts0_only_matches_procedure2_initial(self, s208):
+        cfg = s208.config.with_lengths(8, 16, 64)
+        base = ts0_only(
+            s208.circuit, cfg, s208.target_faults, simulator=s208.simulator
+        )
+        res = s208.run(8, 16, 64)
+        assert base.detected == res.ts0_detected
+        assert base.cycles == res.ncyc0
+
+    def test_detections_attribute_all_targets_when_complete(self, s208):
+        res = s208.run(8, 16, 64)
+        assert set(res.detections) == set(s208.target_faults)
+
+    def test_limited_scan_detections_use_all_three_mechanisms(self, s208):
+        """Across the selected pairs, detections should occur at POs and
+        at scan observation points -- both mechanisms of Section 2."""
+        res = s208.run(8, 16, 64)
+        wheres = {rec.where for rec in res.detections.values()}
+        assert "po" in wheres
+        assert wheres & {"limited-scan", "scan-out"}
+
+
+class TestCrossCircuit:
+    @pytest.mark.parametrize("name", ["s27", "b01", "s298"])
+    def test_complete_coverage_reachable(self, name):
+        bist = bist_for(name)
+        report = bist.first_complete(max_combos=8)
+        assert report.result.complete, report.result.summary()
+
+    def test_easy_circuit_needs_no_pairs(self):
+        """Some circuits (paper: s344, s510, b02, b06) are covered by
+        TS0 alone -- app = 0."""
+        bist = bist_for("s27")
+        report = bist.first_complete(max_combos=6)
+        # s27 is tiny; with any decent TS0 the pairs column is 0 or tiny.
+        assert report.result.app <= 1

@@ -1,0 +1,86 @@
+"""Tests for levelization."""
+
+import pytest
+
+from repro.circuit.levelize import CombinationalCycleError, levelize
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+
+
+class TestLevelize:
+    def test_levels_respect_dependencies(self, s27):
+        lev = levelize(s27)
+        for gate in s27.iter_gates():
+            out_level = lev.level_of[gate.output]
+            for src in gate.inputs:
+                assert lev.level_of[src] < out_level
+
+    def test_inputs_and_flops_are_level_zero(self, s27):
+        lev = levelize(s27)
+        for net in s27.inputs + s27.state_vars:
+            assert lev.level_of[net] == 0
+
+    def test_order_is_topological(self, medium_synth):
+        lev = levelize(medium_synth)
+        position = {g.output: i for i, g in enumerate(lev.order)}
+        for gate in medium_synth.iter_gates():
+            for src in gate.inputs:
+                if src in position:
+                    assert position[src] < position[gate.output]
+
+    def test_levels_partition_order(self, s27):
+        lev = levelize(s27)
+        flattened = [g for level in lev.levels for g in level]
+        assert flattened == lev.order
+        assert lev.depth == len(lev.levels)
+
+    def test_exact_levels(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("t1", GateType.NOT, ["a"])
+        c.add_gate("t2", GateType.NOT, ["t1"])
+        c.add_gate("y", GateType.AND, ["a", "t2"])
+        lev = levelize(c)
+        assert lev.level_of["t1"] == 1
+        assert lev.level_of["t2"] == 2
+        assert lev.level_of["y"] == 3
+
+    def test_const_gate_is_level_one(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("k", GateType.CONST1, [])
+        c.add_gate("y", GateType.AND, ["a", "k"])
+        lev = levelize(c)
+        assert lev.level_of["k"] == 1
+
+    def test_combinational_cycle_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("x")
+        c.add_gate("x", GateType.AND, ["a", "y"])
+        c.add_gate("y", GateType.AND, ["a", "x"])
+        with pytest.raises(CombinationalCycleError):
+            levelize(c)
+
+    def test_cycle_through_flop_is_fine(self, s27):
+        # s27 has feedback, but always through DFFs.
+        lev = levelize(s27)
+        assert lev.depth > 0
+
+    def test_undriven_net_raises(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("y", GateType.AND, ["a", "ghost"])
+        with pytest.raises(KeyError, match="ghost"):
+            levelize(c)
+
+    def test_empty_combinational_core(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_flop("q", "a")
+        lev = levelize(c)
+        assert lev.depth == 0
+        assert lev.order == []

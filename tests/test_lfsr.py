@@ -1,0 +1,87 @@
+"""Tests for the LFSR and the primitive-polynomial table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rpg.lfsr import Lfsr, PRIMITIVE_TAPS, lfsr_sequence, taps_to_polynomial
+
+
+class TestTable:
+    def test_covers_widths_2_to_64(self):
+        assert set(PRIMITIVE_TAPS) == set(range(2, 65))
+
+    def test_taps_include_width(self):
+        for width, taps in PRIMITIVE_TAPS.items():
+            assert width in taps
+            assert all(1 <= t <= width for t in taps)
+
+    @pytest.mark.parametrize("width", range(2, 17))
+    def test_maximal_period_small_widths(self, width):
+        """Primitive taps must give period 2**n - 1 (exhaustively checked
+        for n <= 16; larger widths rely on the published table)."""
+        lfsr = Lfsr(width, seed=1)
+        assert lfsr.period(limit=2**width) == 2**width - 1
+
+
+class TestLfsr:
+    def test_deterministic(self):
+        a = lfsr_sequence(16, seed=0xACE1, n=100)
+        b = lfsr_sequence(16, seed=0xACE1, n=100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = lfsr_sequence(16, seed=1, n=64)
+        b = lfsr_sequence(16, seed=2, n=64)
+        assert a != b
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(8, seed=0)
+        lfsr = Lfsr(8, seed=1)
+        with pytest.raises(ValueError):
+            lfsr.reseed(0x100)  # truncates to zero in 8 bits
+
+    def test_custom_taps_validated(self):
+        with pytest.raises(ValueError):
+            Lfsr(8, taps=(9, 1))
+        with pytest.raises(ValueError):
+            Lfsr(8, taps=(5, 1))  # missing the width tap
+        Lfsr(8, taps=(8, 6, 5, 4))
+
+    def test_unknown_width_requires_taps(self):
+        with pytest.raises(ValueError):
+            Lfsr(65)
+
+    def test_word_packs_msb_first(self):
+        l1 = Lfsr(16, seed=0xBEEF)
+        l2 = Lfsr(16, seed=0xBEEF)
+        bits = l1.bits(8)
+        word = l2.word(8)
+        assert word == int("".join(map(str, bits)), 2)
+
+    def test_output_is_balanced(self):
+        """A maximal LFSR over its period emits 2**(n-1) ones."""
+        width = 10
+        lfsr = Lfsr(width, seed=1)
+        ones = sum(lfsr.bits(2**width - 1))
+        assert ones == 2 ** (width - 1)
+
+    def test_state_stays_in_range(self):
+        lfsr = Lfsr(8, seed=0x5A)
+        for _ in range(300):
+            lfsr.step()
+            assert 1 <= lfsr.state <= 0xFF
+
+    @given(seed=st.integers(min_value=1, max_value=2**16 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_never_reaches_zero_state(self, seed):
+        lfsr = Lfsr(16, seed=seed)
+        for _ in range(200):
+            lfsr.step()
+            assert lfsr.state != 0
+
+
+class TestPolynomial:
+    def test_taps_to_polynomial(self):
+        # x^4 + x^3 + 1 -> bits 4, 3, 0.
+        assert taps_to_polynomial((4, 3)) == 0b11001

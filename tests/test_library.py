@@ -1,0 +1,144 @@
+"""Unit and property tests for the gate library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.library import (
+    ALL_ONES,
+    BENCH_NAMES,
+    GateType,
+    eval_gate_bits,
+    eval_gate_words,
+)
+
+TWO_INPUT = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+class TestEvalGateBits:
+    @pytest.mark.parametrize(
+        "gtype,a,b,expected",
+        [
+            (GateType.AND, 1, 1, 1),
+            (GateType.AND, 1, 0, 0),
+            (GateType.NAND, 1, 1, 0),
+            (GateType.NAND, 0, 1, 1),
+            (GateType.OR, 0, 0, 0),
+            (GateType.OR, 1, 0, 1),
+            (GateType.NOR, 0, 0, 1),
+            (GateType.NOR, 1, 1, 0),
+            (GateType.XOR, 1, 0, 1),
+            (GateType.XOR, 1, 1, 0),
+            (GateType.XNOR, 1, 1, 1),
+            (GateType.XNOR, 0, 1, 0),
+        ],
+    )
+    def test_two_input_truth_table(self, gtype, a, b, expected):
+        assert eval_gate_bits(gtype, [a, b]) == expected
+
+    def test_not_and_buf(self):
+        assert eval_gate_bits(GateType.NOT, [0]) == 1
+        assert eval_gate_bits(GateType.NOT, [1]) == 0
+        assert eval_gate_bits(GateType.BUF, [0]) == 0
+        assert eval_gate_bits(GateType.BUF, [1]) == 1
+
+    def test_constants(self):
+        assert eval_gate_bits(GateType.CONST0, []) == 0
+        assert eval_gate_bits(GateType.CONST1, []) == 1
+
+    def test_wide_gates(self):
+        assert eval_gate_bits(GateType.AND, [1, 1, 1, 1]) == 1
+        assert eval_gate_bits(GateType.AND, [1, 1, 0, 1]) == 0
+        assert eval_gate_bits(GateType.NOR, [0, 0, 0]) == 1
+        assert eval_gate_bits(GateType.XOR, [1, 1, 1]) == 1
+
+    def test_arity_violations(self):
+        with pytest.raises(ValueError):
+            eval_gate_bits(GateType.AND, [1])
+        with pytest.raises(ValueError):
+            eval_gate_bits(GateType.NOT, [1, 0])
+        with pytest.raises(ValueError):
+            eval_gate_bits(GateType.CONST0, [1])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            eval_gate_bits(GateType.AND, [1, 2])
+
+
+class TestGateTypeProperties:
+    def test_inversion_parity(self):
+        assert GateType.NAND.inversion_parity == 1
+        assert GateType.AND.inversion_parity == 0
+        assert GateType.NOT.inversion_parity == 1
+        assert GateType.XNOR.inversion_parity == 1
+
+    def test_controlling_values(self):
+        assert GateType.AND.controlling_value == 0
+        assert GateType.NAND.controlling_value == 0
+        assert GateType.OR.controlling_value == 1
+        assert GateType.NOR.controlling_value == 1
+        assert GateType.XOR.controlling_value is None
+        assert GateType.NOT.controlling_value is None
+
+    def test_base_mapping(self):
+        assert GateType.NAND.base is GateType.AND
+        assert GateType.NOR.base is GateType.OR
+        assert GateType.XNOR.base is GateType.XOR
+        assert GateType.NOT.base is GateType.BUF
+
+    def test_bench_aliases(self):
+        assert BENCH_NAMES["INV"] is GateType.NOT
+        assert BENCH_NAMES["BUFF"] is GateType.BUF
+
+
+class TestEvalGateWords:
+    @given(
+        gtype=st.sampled_from(TWO_INPUT),
+        a=st.integers(min_value=0, max_value=2**64 - 1),
+        b=st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    def test_words_match_bitwise_scalar(self, gtype, a, b):
+        """Word evaluation must equal per-bit scalar evaluation."""
+        wa = np.array([a], dtype=np.uint64)
+        wb = np.array([b], dtype=np.uint64)
+        out = int(eval_gate_words(gtype, [wa, wb])[0])
+        for bit in (0, 1, 31, 63):
+            ba = (a >> bit) & 1
+            bb = (b >> bit) & 1
+            assert (out >> bit) & 1 == eval_gate_bits(gtype, [ba, bb])
+
+    def test_not_all_ones(self):
+        w = np.array([0], dtype=np.uint64)
+        assert int(eval_gate_words(GateType.NOT, [w])[0]) == int(ALL_ONES)
+
+    def test_const_words(self):
+        assert int(eval_gate_words(GateType.CONST1, [])) == int(ALL_ONES)
+        assert int(eval_gate_words(GateType.CONST0, [])) == 0
+
+    def test_wide_word_gate(self):
+        ws = [np.array([v], dtype=np.uint64) for v in (0b110, 0b101, 0b100)]
+        assert int(eval_gate_words(GateType.AND, ws)[0]) == 0b100
+        assert int(eval_gate_words(GateType.OR, ws)[0]) == 0b111
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            eval_gate_words(GateType.AND, [np.array([1], dtype=np.uint64)])
+
+    @given(a=st.integers(min_value=0, max_value=2**64 - 1))
+    def test_de_morgan_on_words(self, a):
+        """NOT(a AND b) == (NOT a) OR (NOT b), bitwise."""
+        b = 0xDEADBEEFCAFEBABE
+        wa = np.array([a], dtype=np.uint64)
+        wb = np.array([b], dtype=np.uint64)
+        nand = eval_gate_words(GateType.NAND, [wa, wb])
+        na = eval_gate_words(GateType.NOT, [wa])
+        nb = eval_gate_words(GateType.NOT, [wb])
+        orred = eval_gate_words(GateType.OR, [na, nb])
+        assert int(nand[0]) == int(orred[0])

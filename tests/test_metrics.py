@@ -1,0 +1,56 @@
+"""Tests for reporting metrics and the paper's number formatting."""
+
+import pytest
+
+from repro.core.metrics import (
+    coverage_percent,
+    format_optional,
+    human_cycles,
+    ls_to_run_length,
+)
+
+
+class TestHumanCycles:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            # Samples straight from the paper's Table 6.
+            (2568, "2.6K"),
+            (3300, "3.3K"),
+            (25_400, "25.4K"),
+            (13_000, "13.0K"),
+            (316_000, "316K"),
+            (870_000, "870K"),
+            (1_200_000, "1.2M"),
+            (2_400_000, "2.4M"),
+            (10_200_000, "10.2M"),
+            (224_000, "224K"),
+        ],
+    )
+    def test_paper_style(self, value, expected):
+        assert human_cycles(value) == expected
+
+    def test_small_numbers_exact(self):
+        assert human_cycles(999) == "999"
+        assert human_cycles(0) == "0"
+
+    def test_none_is_empty(self):
+        assert human_cycles(None) == ""
+
+
+class TestCoverage:
+    def test_percent(self):
+        assert coverage_percent(99, 100) == 99.0
+        assert coverage_percent(0, 0) == 100.0
+
+    def test_ls_to_run_length(self):
+        # The paper: ls = 0.50 -> a limited scan every 2 time units.
+        assert ls_to_run_length(0.5) == 2.0
+        assert ls_to_run_length(0.1) == pytest.approx(10.0)
+        assert ls_to_run_length(None) is None
+        assert ls_to_run_length(0.0) is None
+
+    def test_format_optional(self):
+        assert format_optional(None) == ""
+        assert format_optional(0.55) == "0.55"
+        assert format_optional(1, fmt="{}") == "1"

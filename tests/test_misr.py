@@ -1,0 +1,125 @@
+"""Tests for MISR signature compaction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rpg.misr import (
+    Misr,
+    SignatureCollector,
+    aliasing_probability,
+    fold_bits,
+    signature_of_trace,
+)
+
+
+class TestMisr:
+    def test_deterministic(self):
+        a = Misr(16, seed=3)
+        b = Misr(16, seed=3)
+        stream = [5, 9, 0, 0xFFFF, 123]
+        assert a.compact(stream) == b.compact(stream)
+
+    def test_zero_inputs_still_cycle(self):
+        m = Misr(16, seed=1)
+        sigs = set()
+        for _ in range(10):
+            m.clock(0)
+            sigs.add(m.signature)
+        assert len(sigs) > 5  # the LFSR churns even with zero input
+
+    def test_all_zero_state_and_input_stays_zero(self):
+        m = Misr(16, seed=0)
+        m.clock(0)
+        assert m.signature == 0
+        m.clock(1)  # input breaks the lockup
+        assert m.signature != 0
+
+    def test_single_bit_difference_changes_signature(self):
+        a = Misr(32)
+        b = Misr(32)
+        a.compact([1, 2, 3, 4])
+        b.compact([1, 2, 3, 5])  # one bit differs
+        assert a.signature != b.signature
+
+    def test_input_width_checked(self):
+        m = Misr(8)
+        with pytest.raises(ValueError):
+            m.clock(0x100)
+        with pytest.raises(ValueError):
+            m.clock(-1)
+
+    def test_unknown_width(self):
+        with pytest.raises(ValueError):
+            Misr(65)
+
+    @given(
+        stream=st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=50),
+        flip=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_error_streams_rarely_alias(self, stream, flip):
+        """Flipping one input bit must change a 16-bit signature in (at
+        least) these randomly drawn cases (aliasing is ~2^-16)."""
+        pos = flip.draw(st.integers(0, len(stream) - 1))
+        bit = flip.draw(st.integers(0, 15))
+        mutated = list(stream)
+        mutated[pos] ^= 1 << bit
+        assert Misr(16).compact(stream) != Misr(16).compact(mutated)
+
+
+class TestHelpers:
+    def test_fold_bits(self):
+        assert fold_bits([1, 0, 1], 8) == 0b101
+        assert fold_bits([1, 1], 1) == 0  # overlay XOR cancels
+        assert fold_bits([], 8) == 0
+
+    def test_aliasing_probability(self):
+        assert aliasing_probability(16) == 2.0**-16
+
+
+class TestSignatureCollector:
+    def test_good_and_faulty_traces_differ(self, s27):
+        from repro.faults.collapse import collapse_faults
+        from repro.faults.model import FaultGraph
+        from repro.simulation.compiled import Injections
+        from repro.simulation.sequential import simulate_test
+
+        graph = FaultGraph(s27)
+        si = [0, 0, 1]
+        vectors = [[0, 1, 1, 1], [1, 0, 0, 1], [0, 1, 1, 1]]
+        good = simulate_test(graph.model, si, vectors)
+        good_sig = signature_of_trace(good)
+
+        diverged = 0
+        for fault in collapse_faults(s27):
+            inj = Injections.build_whole_word(
+                [(graph.signal_of(fault), 0, fault.value)],
+                graph.model.level_of_signal,
+            )
+            bad = simulate_test(graph.model, si, vectors, injections=inj)
+            if (
+                bad.outputs != good.outputs
+                or bad.states[-1] != good.states[-1]
+            ):
+                # Observable difference => signature must differ.
+                assert signature_of_trace(bad) != good_sig
+                diverged += 1
+            else:
+                assert signature_of_trace(bad) == good_sig
+        assert diverged > 0
+
+    def test_collector_order_sensitivity(self):
+        a = SignatureCollector(16)
+        a.outputs([1, 0])
+        a.outputs([0, 1])
+        b = SignatureCollector(16)
+        b.outputs([0, 1])
+        b.outputs([1, 0])
+        assert a.signature != b.signature
+
+    def test_scan_bits_serial(self):
+        a = SignatureCollector(16)
+        a.scan_bits([1, 0, 1])
+        b = SignatureCollector(16)
+        b.scan_bits([1, 0, 0])
+        assert a.signature != b.signature

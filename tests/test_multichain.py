@@ -1,0 +1,93 @@
+"""Tests for the multiple-scan-chain model."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.multichain import (
+    MultiChainConfig,
+    balanced_chains,
+    chain_tails,
+    multi_shift,
+)
+from repro.simulation.scan import full_scan_state, state_to_string, word_to_bit
+
+
+class TestConfig:
+    def test_balanced_partition(self):
+        cfg = balanced_chains(21, max_length=10)
+        assert cfg.num_chains == 3
+        assert sorted(len(c) for c in cfg.chains) == [7, 7, 7]
+        assert cfg.scanned_positions == list(range(21))
+
+    def test_exact_multiple(self):
+        cfg = balanced_chains(20, max_length=10)
+        assert cfg.num_chains == 2
+        assert cfg.max_length == 10
+
+    def test_single_chain_when_small(self):
+        cfg = balanced_chains(4, max_length=10)
+        assert cfg.num_chains == 1
+
+    def test_scan_cycles_cap(self):
+        cfg = balanced_chains(21, max_length=10)
+        assert cfg.scan_cycles(100) == cfg.max_length
+        assert cfg.scan_cycles(3) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiChainConfig(chains=((0, 1), (1, 2)))
+        with pytest.raises(ValueError):
+            MultiChainConfig(chains=((),))
+        with pytest.raises(ValueError):
+            balanced_chains(5, max_length=0)
+
+    def test_empty_circuit(self):
+        assert balanced_chains(0).num_chains == 0
+
+
+class TestMultiShift:
+    def test_parallel_shift(self):
+        # Two chains of 2: state 10|01, shift 1 with fills (0, 1).
+        cfg = MultiChainConfig(chains=((0, 1), (2, 3)))
+        state = full_scan_state(4, [1, 0, 0, 1], 1)
+        new, outs = multi_shift(state, cfg, 1, [(0,), (1,)])
+        assert state_to_string(new) == "0110"
+        assert [word_to_bit(w) for w in outs[0][:, 0]] == [0]
+        assert [word_to_bit(w) for w in outs[1][:, 0]] == [1]
+
+    def test_matches_single_chain_semantics(self):
+        """One chain covering everything == limited_shift."""
+        from repro.simulation.scan import limited_shift
+
+        cfg = MultiChainConfig(chains=(tuple(range(5)),))
+        state = full_scan_state(5, [1, 0, 1, 1, 0], 1)
+        new_m, outs_m = multi_shift(state, cfg, 2, [(1, 0)])
+        new_s, outs_s = limited_shift(state, 2, [1, 0])
+        assert state_to_string(new_m) == state_to_string(new_s)
+        assert [word_to_bit(w) for w in outs_m[0][:, 0]] == [
+            word_to_bit(w) for w in outs_s[:, 0]
+        ]
+
+    def test_overlong_shift_flushes_chain(self):
+        cfg = MultiChainConfig(chains=((0, 1),))
+        state = full_scan_state(2, [1, 1], 1)
+        new, outs = multi_shift(state, cfg, 3, [(0, 0, 0)])
+        assert state_to_string(new) == "00"
+        # Bits out: original right, original left, then a fill bit.
+        assert [word_to_bit(w) for w in outs[0][:, 0]] == [1, 1, 0]
+
+    def test_fill_validation(self):
+        cfg = MultiChainConfig(chains=((0, 1), (2,)))
+        state = full_scan_state(3, [0, 0, 0], 1)
+        with pytest.raises(ValueError):
+            multi_shift(state, cfg, 1, [(0,)])  # one fill list missing
+        with pytest.raises(ValueError):
+            multi_shift(state, cfg, 2, [(0,), (0, 0)])  # wrong length
+
+
+class TestChainTails:
+    def test_tail_rows(self):
+        cfg = MultiChainConfig(chains=((0, 1), (2, 3, 4)))
+        state = full_scan_state(5, [0, 1, 0, 0, 1], 1)
+        tails = chain_tails(state, cfg)
+        assert [word_to_bit(w) for w in tails[:, 0]] == [1, 1]

@@ -1,0 +1,106 @@
+"""Tests for the Circuit netlist container."""
+
+import pytest
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit, Flop, Gate
+
+
+class TestConstruction:
+    def test_basic_counts(self, s27):
+        assert s27.num_inputs == 4
+        assert s27.num_outputs == 1
+        assert s27.num_state_vars == 3
+        assert s27.num_gates == 10
+
+    def test_duplicate_driver_gate(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("x", GateType.NOT, ["a"])
+        with pytest.raises(ValueError, match="already has a driver"):
+            c.add_gate("x", GateType.BUF, ["a"])
+
+    def test_duplicate_driver_input(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            c.add_input("a")
+
+    def test_duplicate_driver_flop(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_flop("q", "a")
+        with pytest.raises(ValueError):
+            c.add_flop("q", "a")
+
+    def test_duplicate_output_declaration(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("a")
+        with pytest.raises(ValueError):
+            c.add_output("a")
+
+    def test_gate_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate(output="x", gtype=GateType.AND, inputs=("a",))
+        with pytest.raises(ValueError):
+            Gate(output="x", gtype=GateType.NOT, inputs=("a", "b"))
+
+
+class TestAccessors:
+    def test_state_vars_in_scan_order(self, s27):
+        assert s27.state_vars == ["G5", "G6", "G7"]
+        assert s27.next_state_nets == ["G10", "G11", "G13"]
+
+    def test_gate_for(self, s27):
+        gate = s27.gate_for("G8")
+        assert gate.gtype is GateType.AND
+        assert gate.inputs == ("G14", "G6")
+        assert s27.gate_for("G0") is None
+        assert s27.gate_for("G5") is None
+
+    def test_flop_for(self, s27):
+        assert s27.flop_for("G5") == Flop(q="G5", d="G10")
+        assert s27.flop_for("G8") is None
+
+    def test_signals_cover_everything(self, s27):
+        sigs = set(s27.signals())
+        assert {"G0", "G5", "G8", "G17"} <= sigs
+        assert len(sigs) == 4 + 3 + 10
+
+    def test_is_predicates(self, s27):
+        assert s27.is_input("G0")
+        assert not s27.is_input("G8")
+        assert s27.is_state_var("G6")
+        assert not s27.is_state_var("G0")
+
+
+class TestFanoutMap:
+    def test_fanout_of_stem(self, s27):
+        fan = s27.fanout_map()
+        # G11 feeds G17, G10, and flop G6.
+        readers = {c for c, _ in fan["G11"]}
+        assert readers == {"G17", "G10", "G6"}
+
+    def test_flop_d_is_consumer(self, mux_circuit):
+        fan = mux_circuit.fanout_map()
+        assert ("q0", 0) in fan["out"]
+
+
+class TestCopyAndReorder:
+    def test_copy_is_independent(self, s27):
+        c2 = s27.copy("s27b")
+        c2.add_input("extra")
+        assert "extra" not in s27.inputs
+        assert c2.name == "s27b"
+
+    def test_reorder_scan_chain(self, s27):
+        c2 = s27.reorder_scan_chain(["G7", "G5", "G6"])
+        assert c2.state_vars == ["G7", "G5", "G6"]
+        assert s27.state_vars == ["G5", "G6", "G7"]  # original untouched
+
+    def test_reorder_requires_permutation(self, s27):
+        with pytest.raises(ValueError):
+            s27.reorder_scan_chain(["G5", "G6"])
+        with pytest.raises(ValueError):
+            s27.reorder_scan_chain(["G5", "G6", "G8"])

@@ -1,0 +1,52 @@
+"""Tests for (L_A, L_B, N) enumeration -- Table 5 is exact."""
+
+import pytest
+
+from repro.core.cost import ncyc0
+from repro.core.parameter_selection import (
+    LA_CHOICES,
+    LB_CHOICES,
+    N_CHOICES,
+    enumerate_combinations,
+    first_combinations,
+)
+from repro.experiments.table5 import PAPER_ROWS
+
+
+class TestEnumeration:
+    def test_la_strictly_less_than_lb(self):
+        for combo in enumerate_combinations(8):
+            assert combo.la < combo.lb
+
+    def test_sorted_by_ncyc0(self):
+        combos = enumerate_combinations(8)
+        values = [c.ncyc0 for c in combos]
+        assert values == sorted(values)
+
+    def test_count(self):
+        # pairs with la < lb over the paper's choice sets, times |N|.
+        pairs = sum(
+            1 for la in LA_CHOICES for lb in LB_CHOICES if la < lb
+        )
+        assert len(enumerate_combinations(8)) == pairs * len(N_CHOICES)
+
+    def test_ncyc0_values_correct(self):
+        for combo in enumerate_combinations(21)[:20]:
+            assert combo.ncyc0 == ncyc0(21, combo.la, combo.lb, combo.n)
+
+    def test_label(self):
+        combo = enumerate_combinations(8)[0]
+        assert combo.label() == f"{combo.la},{combo.lb},{combo.n}"
+
+
+class TestTable5Exact:
+    @pytest.mark.parametrize("n_sv", [21, 74])
+    def test_first_ten_match_paper(self, n_sv):
+        ours = [
+            (c.la, c.lb, c.n, c.ncyc0) for c in first_combinations(n_sv, 10)
+        ]
+        assert tuple(ours) == PAPER_ROWS[n_sv]
+
+    def test_first_k_is_prefix(self):
+        all10 = first_combinations(21, 10)
+        assert first_combinations(21, 5) == all10[:5]

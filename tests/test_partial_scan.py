@@ -1,0 +1,107 @@
+"""Tests for the partial-scan extension."""
+
+import pytest
+
+from repro.bench_circuits import load_circuit
+from repro.core.config import BistConfig
+from repro.core.partial_scan import PartialScanBist, select_scan_flops
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator, ScanTest
+from repro.rpg.prng import make_source
+
+
+class TestSelectScanFlops:
+    def test_full_fraction(self, s27):
+        assert select_scan_flops(s27, 1.0) == [0, 1, 2]
+
+    def test_half_fraction(self):
+        circuit = load_circuit("s208")  # 8 flops
+        chain = select_scan_flops(circuit, 0.5)
+        assert len(chain) == 4
+        assert chain == sorted(set(chain))
+        assert all(0 <= p < 8 for p in chain)
+
+    def test_minimum_one(self, s27):
+        assert len(select_scan_flops(s27, 0.01)) == 1
+
+    def test_validation(self, s27):
+        with pytest.raises(ValueError):
+            select_scan_flops(s27, 0.0)
+        with pytest.raises(ValueError):
+            select_scan_flops(s27, 1.5)
+
+    def test_deterministic(self, s27):
+        assert select_scan_flops(s27, 0.67) == select_scan_flops(s27, 0.67)
+
+
+class TestChainSimulator:
+    def test_full_chain_equals_default(self, s27):
+        faults = collapse_faults(s27)
+        src = make_source(4)
+        tests = [
+            ScanTest(si=src.bits(3), vectors=[src.bits(4) for _ in range(4)])
+            for _ in range(5)
+        ]
+        default = FaultSimulator(s27)
+        explicit = FaultSimulator(s27, chain=[0, 1, 2])
+        assert set(default.simulate(tests, faults)) == set(
+            explicit.simulate(tests, faults)
+        )
+
+    def test_partial_chain_si_length(self, s27):
+        sim = FaultSimulator(s27, chain=[0, 2])
+        assert sim.chain_length == 2
+        test = ScanTest(si=[1, 0], vectors=[[0, 0, 0, 0]])
+        sim.simulate([test], collapse_faults(s27))  # does not raise
+
+    def test_partial_detects_fewer_or_equal(self, s27):
+        faults = collapse_faults(s27)
+        src = make_source(9)
+        full_tests = [
+            ScanTest(si=src.bits(3), vectors=[src.bits(4) for _ in range(5)])
+            for _ in range(8)
+        ]
+        # Reuse the same PI vectors; SI truncated to the chain.
+        part_tests = [
+            ScanTest(si=t.si[:2], vectors=t.vectors) for t in full_tests
+        ]
+        full = FaultSimulator(s27)
+        part = FaultSimulator(s27, chain=[0, 1])
+        n_full = len(full.simulate(full_tests, faults))
+        n_part = len(part.simulate(part_tests, faults))
+        assert n_part <= n_full
+
+    def test_invalid_chain_rejected(self, s27):
+        with pytest.raises(ValueError):
+            FaultSimulator(s27, chain=[0, 0])
+        with pytest.raises(ValueError):
+            FaultSimulator(s27, chain=[5])
+
+
+class TestPartialScanBist:
+    def test_runs_and_improves_coverage(self):
+        circuit = load_circuit("s208")
+        faults = collapse_faults(circuit)
+        chain = select_scan_flops(circuit, 0.5)
+        ps = PartialScanBist(
+            circuit, chain, config=BistConfig(la=4, lb=8, n=16, max_iterations=4)
+        )
+        res = ps.run(faults)
+        # Limited scan pairs must add detections beyond TS0 when TS0 is
+        # incomplete (the paper's central claim, under partial scan too).
+        assert res.det_total >= res.ts0_detected
+        assert res.n_sv == len(chain)
+
+    def test_ts0_sized_to_chain(self):
+        circuit = load_circuit("s208")
+        chain = select_scan_flops(circuit, 0.5)
+        ps = PartialScanBist(circuit, chain, config=BistConfig(la=4, lb=8, n=4))
+        ts0 = ps.generate_ts0()
+        assert all(len(t.si) == len(chain) for t in ts0)
+
+    def test_d2_respects_chain_length(self):
+        circuit = load_circuit("s208")
+        chain = select_scan_flops(circuit, 0.5)
+        ps = PartialScanBist(circuit, chain, config=BistConfig(la=4, lb=8, n=4))
+        res = ps.run(collapse_faults(circuit)[:20])
+        assert res.config.effective_d2(len(chain)) == len(chain) + 1

@@ -1,0 +1,81 @@
+"""Tests for the combinational PPSFP simulator."""
+
+import numpy as np
+import pytest
+
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator, ScanTest
+from repro.faults.model import FaultGraph
+from repro.faults.ppsfp import CombinationalFaultSimulator, pack_patterns
+
+
+class TestPackPatterns:
+    def test_layout(self):
+        patterns = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.uint8)
+        words = pack_patterns(patterns)
+        assert words.shape == (2, 1)
+        assert int(words[0, 0]) == 0b101  # input 0 is 1 in patterns 0, 2
+        assert int(words[1, 0]) == 0b110
+
+    def test_multiple_words(self):
+        patterns = np.ones((65, 1), dtype=np.uint8)
+        words = pack_patterns(patterns)
+        assert words.shape == (1, 2)
+        assert int(words[0, 0]) == 2**64 - 1
+        assert int(words[0, 1]) == 1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pack_patterns(np.zeros(4, dtype=np.uint8))
+
+
+class TestPpsfpAgainstSequential:
+    def test_matches_single_vector_fault_sim(self, s27):
+        """PPSFP over (PI, SI) patterns == sequential sim of L=1 tests."""
+        graph = FaultGraph(s27)
+        faults = collapse_faults(s27)
+        rng = np.random.Generator(np.random.PCG64(42))
+        n_patterns = 100
+        patterns = rng.integers(0, 2, size=(n_patterns, 7), dtype=np.uint8)
+
+        comb = CombinationalFaultSimulator(graph)
+        words = pack_patterns(patterns)
+        valid = np.full(words.shape[1], np.uint64(2**64 - 1))
+        tail = n_patterns % 64
+        if tail:
+            valid[-1] = np.uint64((1 << tail) - 1)
+        ppsfp_hits = set(comb.detected(words, faults, valid_mask=valid))
+
+        seq = FaultSimulator(graph)
+        tests = [
+            ScanTest(si=row[4:].tolist(), vectors=[row[:4].tolist()])
+            for row in patterns
+        ]
+        seq_hits = set(seq.simulate(tests, faults))
+        assert ppsfp_hits == seq_hits
+
+    def test_valid_mask_limits_patterns(self, s27):
+        graph = FaultGraph(s27)
+        faults = collapse_faults(s27)
+        comb = CombinationalFaultSimulator(graph)
+        patterns = np.ones((64, 7), dtype=np.uint8)
+        words = pack_patterns(patterns)
+        none_valid = np.array([0], dtype=np.uint64)
+        assert comb.detected(words, faults, valid_mask=none_valid) == []
+
+    def test_input_row_check(self, s27_graph):
+        comb = CombinationalFaultSimulator(s27_graph)
+        with pytest.raises(ValueError):
+            comb.detected(np.zeros((3, 1), dtype=np.uint64), [])
+
+    def test_detection_counts(self, s27_graph):
+        comb = CombinationalFaultSimulator(s27_graph)
+        faults = collapse_faults(s27_graph.circuit)
+        rng = np.random.Generator(np.random.PCG64(7))
+        patterns = rng.integers(0, 2, size=(64, 7), dtype=np.uint8)
+        words = pack_patterns(patterns)
+        counts = comb.detection_counts(words, faults)
+        detected = set(comb.detected(words, faults))
+        for fault, count in counts.items():
+            assert 0 <= count <= 64
+            assert (count > 0) == (fault in detected)

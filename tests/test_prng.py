@@ -1,0 +1,118 @@
+"""Tests for random sources and weighted patterns."""
+
+import pytest
+
+from repro.rpg.prng import DRAW_BITS, LfsrSource, NumpySource, make_source
+from repro.rpg.weighted import (
+    CLASSIC_WEIGHTS,
+    WeightedSource,
+    profile_weights,
+    uniform_weights,
+)
+
+
+@pytest.fixture(params=["numpy", "lfsr"])
+def source_kind(request):
+    return request.param
+
+
+class TestSources:
+    def test_reproducible(self, source_kind):
+        a = make_source(42, source_kind)
+        b = make_source(42, source_kind)
+        assert a.bits(100) == b.bits(100)
+        assert [a.draw() for _ in range(10)] == [b.draw() for _ in range(10)]
+
+    def test_seeds_differ(self, source_kind):
+        a = make_source(1, source_kind)
+        b = make_source(2, source_kind)
+        assert a.bits(64) != b.bits(64)
+
+    def test_draw_range(self, source_kind):
+        src = make_source(7, source_kind)
+        for _ in range(200):
+            assert 0 <= src.draw() < 2**DRAW_BITS
+
+    def test_mod_draw(self, source_kind):
+        src = make_source(7, source_kind)
+        values = [src.mod_draw(10) for _ in range(500)]
+        assert all(0 <= v < 10 for v in values)
+        assert len(set(values)) == 10  # all residues appear
+
+    def test_mod_draw_validates(self, source_kind):
+        with pytest.raises(ValueError):
+            make_source(1, source_kind).mod_draw(0)
+
+    def test_mod_draw_probability(self, source_kind):
+        """r mod D == 0 with probability ~1/D (the Procedure 1 test)."""
+        src = make_source(3, source_kind)
+        d = 4
+        n = 4000
+        zeros = sum(1 for _ in range(n) if src.mod_draw(d) == 0)
+        assert abs(zeros / n - 1 / d) < 0.03
+
+    def test_fork_is_independent_and_reproducible(self, source_kind):
+        a = make_source(9, source_kind)
+        f1 = a.fork(1)
+        f2 = make_source(9, source_kind).fork(1)
+        assert f1.bits(64) == f2.bits(64)
+        assert make_source(9, source_kind).fork(2).bits(64) != make_source(
+            9, source_kind
+        ).fork(1).bits(64)
+
+    def test_bits_are_bits(self, source_kind):
+        assert set(make_source(5, source_kind).bits(256)) <= {0, 1}
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_source(1, "quantum")
+
+    def test_lfsr_source_nonpositive_seed(self):
+        # Must not crash; negative/zero seeds are remapped.
+        LfsrSource(0).bits(8)
+        LfsrSource(-5).bits(8)
+
+
+class TestWeighted:
+    def test_uniform_weights(self):
+        assert uniform_weights(3) == [0.5, 0.5, 0.5]
+
+    def test_rejects_off_grid_weight(self):
+        with pytest.raises(ValueError):
+            WeightedSource(make_source(1), [0.3])
+        with pytest.raises(ValueError):
+            WeightedSource(make_source(1), [1.5])
+        with pytest.raises(ValueError):
+            WeightedSource(make_source(1), [])
+
+    @pytest.mark.parametrize("w", CLASSIC_WEIGHTS)
+    def test_empirical_frequency(self, w):
+        src = WeightedSource(make_source(123), [w])
+        n = 4000
+        ones = sum(src.bit(0) for _ in range(n))
+        assert abs(ones / n - w) < 0.04
+
+    def test_extreme_weights(self):
+        always = WeightedSource(make_source(1), [1.0])
+        never = WeightedSource(make_source(1), [0.0])
+        assert all(always.bit(0) for _ in range(50))
+        assert not any(never.bit(0) for _ in range(50))
+
+    def test_pattern_uses_position_weights(self):
+        src = WeightedSource(make_source(5), [1.0, 0.0])
+        pat = src.pattern(6)
+        assert pat[0::2] == [1, 1, 1]
+        assert pat[1::2] == [0, 0, 0]
+
+    def test_profile_weights(self):
+        w = profile_weights([9, 0, 5], [10, 10, 10])
+        assert w[0] == 0.875  # clamped to ceiling
+        assert w[1] == 0.125  # clamped to floor
+        assert w[2] == 0.5
+
+    def test_profile_weights_empty_total(self):
+        assert profile_weights([0], [0]) == [0.5]
+
+    def test_profile_weights_validates(self):
+        with pytest.raises(ValueError):
+            profile_weights([1], [1, 2])

@@ -1,0 +1,124 @@
+"""Tests for Procedure 2 and its result accounting."""
+
+import dataclasses
+
+import pytest
+
+from repro.atpg.classify import classify_faults
+from repro.core.config import BistConfig, D1_DECREASING
+from repro.core.cost import ncyc0
+from repro.core.procedure2 import run_procedure2
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s27_setup():
+    from repro.bench_circuits.s27 import s27_circuit
+
+    circuit = s27_circuit()
+    return circuit, FaultSimulator(circuit), collapse_faults(circuit)
+
+
+class TestRunProcedure2:
+    def test_s27_reaches_complete_coverage(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=8)
+        res = run_procedure2(circuit, cfg, faults, simulator=sim)
+        assert res.complete
+        assert res.det_total == len(faults)
+        assert res.fault_coverage == 1.0
+        assert not res.remaining_faults
+
+    def test_pairs_all_contribute(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=2)  # small TS0 -> needs pairs
+        res = run_procedure2(circuit, cfg, faults, simulator=sim)
+        for pair in res.pairs:
+            assert pair.newly_detected > 0
+            assert pair.d1 in cfg.d1_values
+            assert pair.iteration >= 1
+
+    def test_detection_counts_consistent(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=2)
+        res = run_procedure2(circuit, cfg, faults, simulator=sim)
+        assert res.det_total == res.ts0_detected + sum(
+            p.newly_detected for p in res.pairs
+        )
+        assert res.det_total == len(res.detections)
+        assert res.det_total + len(res.remaining_faults) == len(faults)
+
+    def test_cycle_accounting(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=4)
+        res = run_procedure2(circuit, cfg, faults, simulator=sim)
+        base = ncyc0(3, 4, 8, 4)
+        assert res.ncyc0 == base
+        expect = base + sum(base + p.nsh for p in res.pairs)
+        assert res.ncyc_total == expect
+
+    def test_ls_average_range(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=2)
+        res = run_procedure2(circuit, cfg, faults, simulator=sim)
+        if res.pairs:
+            assert 0.0 < res.ls_average <= 1.0
+        else:
+            assert res.ls_average is None
+
+    def test_no_pairs_when_ts0_complete(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=8, lb=64, n=64)  # plenty of random tests
+        res = run_procedure2(circuit, cfg, faults, simulator=sim)
+        if res.ts0_detected == len(faults):
+            assert res.app == 0
+            assert res.ncyc_total == res.ncyc0
+
+    def test_gives_up_after_n_same_fc(self, s27_setup):
+        """With an impossible target the loop stops via N_SAME_FC."""
+        circuit, sim, faults = s27_setup
+        from repro.faults.model import Fault
+
+        impossible = [Fault(site="G17", value=0), Fault(site="G17", value=1)]
+        # G17 faults ARE detectable; use a truly undetectable marker by
+        # targeting a fault in a redundant circuit instead:
+        from repro.circuit.library import GateType
+        from repro.circuit.netlist import Circuit
+
+        c = Circuit("red")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_output("z")
+        c.add_gate("t", GateType.AND, ["a", "b"])
+        c.add_gate("z", GateType.OR, ["a", "t"])
+        c.add_flop("q", "z")
+        target = [Fault(site="t", value=0)]  # undetectable (z == a)
+        cfg = BistConfig(la=2, lb=4, n=2, n_same_fc=2, max_iterations=10)
+        res = run_procedure2(c, cfg, target)
+        assert not res.complete
+        assert res.remaining_faults == target
+        assert res.iterations_run <= 10
+
+    def test_decreasing_d1_order(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=2, d1_values=D1_DECREASING)
+        res = run_procedure2(circuit, cfg, faults, simulator=sim)
+        for pair in res.pairs:
+            assert pair.d1 in range(1, 11)
+
+    def test_deterministic(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=2)
+        a = run_procedure2(circuit, cfg, faults, simulator=sim)
+        b = run_procedure2(circuit, cfg, faults, simulator=sim)
+        assert [(p.iteration, p.d1, p.newly_detected) for p in a.pairs] == [
+            (p.iteration, p.d1, p.newly_detected) for p in b.pairs
+        ]
+        assert a.ncyc_total == b.ncyc_total
+
+    def test_summary_mentions_completeness(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=8)
+        res = run_procedure2(circuit, cfg, faults, simulator=sim)
+        assert "complete" in res.summary()

@@ -1,0 +1,150 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants spanning several modules: format round-trips, cost-model
+identities, schedule statistics, and simulator consistency under
+transformations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.circuit.bench_parser import parse_bench, write_bench
+from repro.circuit.verilog import parse_verilog, write_verilog
+from repro.core.config import BistConfig
+from repro.core.cost import ncyc0, total_cycles
+from repro.core.limited_scan import schedule_for_test
+from repro.core.test_set import generate_ts0
+from repro.rpg.prng import make_source
+
+small_circuits = st.builds(
+    lambda seed, n_pi, n_ff, n_gates: synthesize(
+        SyntheticSpec(
+            name="p",
+            n_pi=n_pi,
+            n_po=2,
+            n_ff=n_ff,
+            n_gates=n_gates,
+            seed=seed,
+        )
+    ),
+    seed=st.integers(0, 99_999),
+    n_pi=st.integers(2, 8),
+    n_ff=st.integers(1, 6),
+    n_gates=st.integers(15, 60),
+)
+
+
+class TestFormatRoundTrips:
+    @settings(max_examples=20, deadline=None)
+    @given(circuit=small_circuits)
+    def test_bench_round_trip_structural(self, circuit):
+        back = parse_bench(write_bench(circuit))
+        assert back.inputs == circuit.inputs
+        assert back.outputs == circuit.outputs
+        assert back.state_vars == circuit.state_vars
+        assert {g.output for g in back.iter_gates()} == {
+            g.output for g in circuit.iter_gates()
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(circuit=small_circuits)
+    def test_verilog_round_trip_structural(self, circuit):
+        back = parse_verilog(write_verilog(circuit))
+        assert back.inputs == circuit.inputs
+        assert back.state_vars == circuit.state_vars
+
+    @settings(max_examples=10, deadline=None)
+    @given(circuit=small_circuits, stim=st.integers(0, 2**40))
+    def test_bench_round_trip_behavioural(self, circuit, stim):
+        from repro.simulation.compiled import CompiledModel
+        from repro.simulation.sequential import simulate_test
+
+        back = parse_bench(write_bench(circuit))
+        n_pi, n_ff = circuit.num_inputs, circuit.num_state_vars
+        si = [(stim >> i) & 1 for i in range(n_ff)]
+        vecs = [
+            [(stim >> (n_ff + u * n_pi + i)) & 1 for i in range(n_pi)]
+            for u in range(3)
+        ]
+        t1 = simulate_test(CompiledModel(circuit), si, vecs)
+        t2 = simulate_test(CompiledModel(back), si, vecs)
+        assert t1.outputs == t2.outputs
+        assert t1.states == t2.states
+
+
+class TestCostIdentities:
+    @given(
+        n_sv=st.integers(0, 500),
+        la=st.integers(1, 256),
+        lb=st.integers(1, 512),
+        n=st.integers(1, 512),
+    )
+    def test_ncyc0_formula(self, n_sv, la, lb, n):
+        assert ncyc0(n_sv, la, lb, n) == (2 * n + 1) * n_sv + n * (la + lb)
+
+    @given(
+        base=st.integers(0, 10**6),
+        nshs=st.lists(st.integers(0, 10**5), max_size=20),
+    )
+    def test_total_cycles_identity(self, base, nshs):
+        assert total_cycles(base, nshs) == base * (1 + len(nshs)) + sum(nshs)
+
+    @given(
+        n_sv=st.integers(1, 100),
+        la=st.integers(1, 100),
+        lb=st.integers(1, 100),
+        n=st.integers(1, 100),
+    )
+    def test_ncyc0_monotone(self, n_sv, la, lb, n):
+        assert ncyc0(n_sv, la, lb, n) < ncyc0(n_sv, la + 1, lb, n)
+        assert ncyc0(n_sv, la, lb, n) < ncyc0(n_sv, la, lb + 1, n)
+        assert ncyc0(n_sv, la, lb, n) < ncyc0(n_sv, la, lb, n + 1)
+        assert ncyc0(n_sv, la, lb, n) < ncyc0(n_sv + 1, la, lb, n)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        length=st.integers(1, 64),
+        d1=st.integers(1, 10),
+        d2=st.integers(1, 40),
+    )
+    def test_schedule_invariants(self, seed, length, d1, d2):
+        steps = schedule_for_test(make_source(seed), length, d1, d2)
+        assert len(steps) == length
+        assert steps[0] == (0, ())
+        for k, fill in steps:
+            assert 0 <= k < d2
+            assert len(fill) == k
+            assert set(fill) <= {0, 1}
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_d1_one_always_draws_shift(self, seed):
+        """r1 mod 1 == 0 always: every interior unit draws a shift."""
+        src_a = make_source(seed)
+        steps = schedule_for_test(src_a, 32, d1=1, d2=2)
+        # With d2 = 2, shift is 0 or 1, each drawn; statistically some 1s.
+        assert any(k == 1 for k, _ in steps[1:])
+
+
+class TestTs0Properties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        circuit=small_circuits,
+        la=st.integers(1, 8),
+        extra=st.integers(1, 8),
+        n=st.integers(1, 8),
+    )
+    def test_ts0_shape_invariants(self, circuit, la, extra, n):
+        cfg = BistConfig(la=la, lb=la + extra, n=n)
+        ts0 = generate_ts0(circuit, cfg)
+        assert len(ts0) == 2 * n
+        assert all(t.length == la for t in ts0[:n])
+        assert all(t.length == la + extra for t in ts0[n:])
+        assert all(len(t.si) == circuit.num_state_vars for t in ts0)
+        flat = [b for t in ts0 for v in t.vectors for b in v]
+        assert set(flat) <= {0, 1}

@@ -1,0 +1,110 @@
+"""Tests for at-speed run-length analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import BistConfig
+from repro.core.limited_scan import build_limited_scan_test_set
+from repro.core.run_lengths import (
+    RunLengthStats,
+    analyze_run_lengths,
+    run_lengths_of_test,
+)
+from repro.core.test_set import generate_ts0
+from repro.faults.fault_sim import ScanTest
+
+
+class TestRunLengthsOfTest:
+    def test_no_schedule_single_run(self):
+        test = ScanTest(si=[0], vectors=[[0]] * 7)
+        assert run_lengths_of_test(test) == [7]
+
+    def test_shift_splits_runs(self):
+        schedule = [(0, ()), (0, ()), (2, (0, 1)), (0, ()), (0, ())]
+        test = ScanTest(si=[0, 0], vectors=[[0]] * 5, schedule=schedule)
+        # Runs: u0-u1 (2), then u2-u4 (3).
+        assert run_lengths_of_test(test) == [2, 3]
+
+    def test_zero_shift_steps_do_not_split(self):
+        schedule = [(0, ())] * 4
+        test = ScanTest(si=[0], vectors=[[1]] * 4, schedule=schedule)
+        assert run_lengths_of_test(test) == [4]
+
+    def test_back_to_back_shifts(self):
+        schedule = [(0, ()), (1, (0,)), (1, (1,)), (0, ())]
+        test = ScanTest(si=[0, 0], vectors=[[0]] * 4, schedule=schedule)
+        assert run_lengths_of_test(test) == [1, 1, 2]
+
+    def test_runs_sum_to_length(self):
+        schedule = [(0, ()), (1, (0,)), (0, ()), (2, (1, 0)), (0, ())]
+        test = ScanTest(si=[0, 0], vectors=[[0]] * 5, schedule=schedule)
+        assert sum(run_lengths_of_test(test)) == 5
+
+
+class TestAnalyze:
+    def test_plain_ts0(self, s27):
+        cfg = BistConfig(la=4, lb=8, n=3)
+        stats = analyze_run_lengths(generate_ts0(s27, cfg))
+        assert stats.num_runs == 6  # one run per test
+        assert stats.histogram == {4: 3, 8: 3}
+        assert stats.ls_average == 0.0
+        assert stats.mean == 6.0
+
+    def test_ls_matches_paper_definition(self, s27):
+        cfg = BistConfig(la=4, lb=8, n=8)
+        ts0 = generate_ts0(s27, cfg)
+        ts = build_limited_scan_test_set(ts0, 1, 2, cfg, 3)
+        stats = analyze_run_lengths(ts)
+        expect = sum(t.num_limited_scans for t in ts) / sum(
+            t.length for t in ts
+        )
+        assert stats.ls_average == pytest.approx(expect)
+
+    def test_mean_run_length_tracks_inverse_ls(self, s27):
+        """The paper's reading: ls = 0.5 -> runs of ~2 time units."""
+        cfg = BistConfig(la=8, lb=16, n=8)
+        ts0 = generate_ts0(s27, cfg)
+        d1_small = analyze_run_lengths(
+            build_limited_scan_test_set(ts0, 1, 1, cfg, 3)
+        )
+        d1_large = analyze_run_lengths(
+            build_limited_scan_test_set(ts0, 1, 8, cfg, 3)
+        )
+        assert d1_small.ls_average > d1_large.ls_average
+        assert d1_small.mean < d1_large.mean
+
+    def test_percentiles_monotone(self, s27):
+        cfg = BistConfig(la=4, lb=8, n=8)
+        ts0 = generate_ts0(s27, cfg)
+        stats = analyze_run_lengths(
+            build_limited_scan_test_set(ts0, 2, 3, cfg, 3)
+        )
+        assert stats.percentile(10) <= stats.percentile(50) <= stats.percentile(90)
+        with pytest.raises(ValueError):
+            stats.percentile(150)
+
+    def test_empty(self):
+        stats = analyze_run_lengths([])
+        assert stats.mean == 0.0
+        assert stats.maximum == 0
+        assert stats.percentile(50) == 0
+
+    def test_summary(self, s27):
+        cfg = BistConfig(la=4, lb=8, n=2)
+        stats = analyze_run_lengths(generate_ts0(s27, cfg))
+        assert "at-speed runs" in stats.summary()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=20),
+    shifts=st.data(),
+)
+def test_runs_partition_time_units(length, shifts):
+    """Property: run lengths always sum to the test length."""
+    schedule = [(0, ())]
+    for _ in range(1, length):
+        k = shifts.draw(st.integers(0, 3))
+        schedule.append((k, tuple([0] * k)))
+    test = ScanTest(si=[0, 0, 0], vectors=[[0]] * length, schedule=schedule)
+    assert sum(run_lengths_of_test(test)) == length

@@ -1,0 +1,125 @@
+"""Tests for the functional scan model (including the limited shift)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.library import ALL_ONES
+from repro.simulation.scan import (
+    bit_to_word,
+    full_scan_state,
+    limited_shift,
+    state_to_bits,
+    state_to_string,
+    word_to_bit,
+)
+
+
+def make_state(bits):
+    return full_scan_state(len(bits), bits, n_words=1)
+
+
+class TestBasics:
+    def test_bit_word_round_trip(self):
+        assert word_to_bit(bit_to_word(0)) == 0
+        assert word_to_bit(bit_to_word(1)) == 1
+
+    def test_word_to_bit_rejects_mixed(self):
+        with pytest.raises(ValueError):
+            word_to_bit(np.uint64(5))
+
+    def test_full_scan_state_layout(self):
+        state = make_state([1, 0, 1])
+        assert state_to_bits(state) == [1, 0, 1]
+        assert state_to_string(state) == "101"
+
+    def test_full_scan_state_arity(self):
+        with pytest.raises(ValueError):
+            full_scan_state(3, [1, 0], 1)
+
+
+class TestLimitedShift:
+    def test_paper_example(self):
+        """The paper's Section 2: 010 shifted by 1 with fill 0 -> 001."""
+        state = make_state([0, 1, 0])
+        new, out = limited_shift(state, 1, [0])
+        assert state_to_string(new) == "001"
+        assert [word_to_bit(w) for w in out[:, 0]] == [0]
+
+    def test_shift_out_order(self):
+        # 1101, shift 2: bits leave right end first: 1 then 0.
+        state = make_state([1, 1, 0, 1])
+        new, out = limited_shift(state, 2, [0, 0])
+        assert [word_to_bit(w) for w in out[:, 0]] == [1, 0]
+        assert state_to_string(new) == "0011"
+
+    def test_fill_order(self):
+        # First fill bit travels furthest right.
+        state = make_state([0, 0, 0, 0])
+        new, _ = limited_shift(state, 3, [1, 0, 0])
+        # fills f0=1,f1=0,f2=0 end at positions 2,1,0.
+        assert state_to_string(new) == "0010"
+
+    def test_zero_shift_is_identity(self):
+        state = make_state([1, 0, 1])
+        new, out = limited_shift(state, 0, [])
+        assert state_to_string(new) == "101"
+        assert out.shape == (0, 1)
+
+    def test_full_shift_replaces_state(self):
+        state = make_state([1, 0, 1])
+        new, out = limited_shift(state, 3, [0, 1, 1])
+        # Complete scan: everything out (right-to-left), fills in.
+        assert [word_to_bit(w) for w in out[:, 0]] == [1, 0, 1]
+        assert state_to_string(new) == "110"
+
+    def test_bounds(self):
+        state = make_state([1, 0])
+        with pytest.raises(ValueError):
+            limited_shift(state, 3, [0, 0, 0])
+        with pytest.raises(ValueError):
+            limited_shift(state, 1, [])
+
+    def test_does_not_mutate_input(self):
+        state = make_state([1, 0, 1])
+        limited_shift(state, 2, [0, 0])
+        assert state_to_string(state) == "101"
+
+    def test_multi_word_columns_shift_together(self):
+        state = np.zeros((3, 2), dtype=np.uint64)
+        state[0, 0] = ALL_ONES  # copy 0 has a 1 at the left end
+        new, out = limited_shift(state, 1, [0])
+        assert int(new[1, 0]) == int(ALL_ONES)
+        assert int(new[1, 1]) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bits=st.lists(st.integers(0, 1), min_size=1, max_size=12),
+    data=st.data(),
+)
+def test_shift_composition(bits, data):
+    """shift(k1) then shift(k2) == shift(k1+k2) with concatenated fills."""
+    n = len(bits)
+    k1 = data.draw(st.integers(0, n))
+    k2 = data.draw(st.integers(0, n - k1))
+    fills = data.draw(st.lists(st.integers(0, 1), min_size=k1 + k2, max_size=k1 + k2))
+    state = make_state(bits)
+
+    s1, out1 = limited_shift(state, k1, fills[:k1])
+    s2, out2 = limited_shift(s1, k2, fills[k1:])
+    s_once, out_once = limited_shift(state, k1 + k2, fills)
+
+    assert state_to_string(s2) == state_to_string(s_once)
+    seq = [word_to_bit(w) for w in out1[:, 0]] + [word_to_bit(w) for w in out2[:, 0]]
+    once = [word_to_bit(w) for w in out_once[:, 0]]
+    assert seq == once
+
+
+@settings(max_examples=30, deadline=None)
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=10))
+def test_full_shift_scans_out_reversed_state(bits):
+    """A complete scan operation reads the state right-to-left."""
+    state = make_state(bits)
+    _, out = limited_shift(state, len(bits), [0] * len(bits))
+    assert [word_to_bit(w) for w in out[:, 0]] == bits[::-1]

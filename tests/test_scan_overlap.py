@@ -1,0 +1,117 @@
+"""Tests for the [7]-[11]-style scan-overlap TAT reduction."""
+
+import pytest
+
+from repro.core.scan_overlap import (
+    OverlapPlan,
+    build_session,
+    fill_bits_for,
+    minimal_shift,
+    overlap_experiment,
+    plan_overlap,
+)
+from repro.faults.fault_sim import FaultSimulator, ScanTest
+from repro.simulation.scan import full_scan_state, limited_shift, state_to_bits
+
+
+class TestMinimalShift:
+    def test_identity(self):
+        assert minimal_shift([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_one_shift(self):
+        # target[1:] == response[:2]
+        assert minimal_shift([1, 0, 1], [0, 1, 0]) == 1
+
+    def test_full_scan_worst_case(self):
+        assert minimal_shift([1, 1, 1], [0, 0, 0]) == 3
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            minimal_shift([1, 0], [1, 0, 1])
+
+    def test_shift_actually_reaches_target(self):
+        """Property-style check: shifting the response by the computed k
+        with the computed fill bits must produce exactly the target."""
+        import itertools
+
+        for response in itertools.product([0, 1], repeat=4):
+            for target in itertools.product([0, 1], repeat=4):
+                k = minimal_shift(response, target)
+                state = full_scan_state(4, list(response), 1)
+                new, _ = limited_shift(state, k, list(fill_bits_for(target, k)))
+                assert state_to_bits(new) == list(target), (response, target, k)
+
+
+class TestPlanning:
+    def _tests(self, sis):
+        return [ScanTest(si=list(si), vectors=[[0]]) for si in sis]
+
+    def test_greedy_chains_perfect_overlaps(self):
+        # responses equal the next test's SI: zero-shift chain.
+        tests = self._tests([[0, 0], [1, 1], [0, 1]])
+        responses = [[1, 1], [0, 1], [0, 0]]
+        plan = plan_overlap(tests, responses)
+        assert plan.order == [0, 1, 2]
+        assert plan.shifts == [2, 0, 0]
+        assert plan.optimized_cycles() < plan.full_scan_cycles()
+
+    def test_original_order_mode(self):
+        tests = self._tests([[0, 0], [1, 1]])
+        responses = [[0, 0], [1, 1]]
+        plan = plan_overlap(tests, responses, greedy_order=False)
+        assert plan.order == [0, 1]
+
+    def test_empty(self):
+        plan = plan_overlap([], [])
+        assert plan.num_tests == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_overlap(self._tests([[0]]), [])
+
+    def test_cost_model(self):
+        plan = OverlapPlan(order=[0, 1], shifts=[3, 1], n_sv=3)
+        # shifts (3+1) + 2 functional + final scan-out 3.
+        assert plan.optimized_cycles() == 4 + 2 + 3
+        assert plan.full_scan_cycles() == 3 * 3 + 2
+        assert 0 < plan.saving() < 1
+
+
+class TestSession:
+    def test_session_structure(self):
+        tests = [
+            ScanTest(si=[0, 0], vectors=[[1]]),
+            ScanTest(si=[1, 0], vectors=[[0]]),
+        ]
+        plan = OverlapPlan(order=[0, 1], shifts=[2, 1], n_sv=2)
+        session = build_session(tests, plan)
+        assert session.si == [0, 0]
+        assert session.vectors == [[1], [0]]
+        assert session.schedule[0] == (0, ())
+        assert session.schedule[1][0] == 1
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            build_session([], OverlapPlan(order=[], shifts=[], n_sv=0))
+
+
+class TestExperiment:
+    def test_s27_full_coverage_preserved(self, s27):
+        out = overlap_experiment(s27)
+        assert out.optimized_detected == out.baseline_detected
+        assert out.plan.optimized_cycles() <= out.plan.full_scan_cycles()
+
+    def test_repair_restores_coverage(self, medium_synth):
+        out = overlap_experiment(medium_synth, repair=True)
+        assert out.optimized_detected == out.baseline_detected
+        # Repair must still leave a valid session (coverage re-verified).
+        sim = FaultSimulator(medium_synth)
+        # sanity: summary renders
+        assert "TAT" in out.summary()
+
+    def test_greedy_beats_original_order(self, s27):
+        greedy = overlap_experiment(s27, greedy_order=True)
+        plain = overlap_experiment(s27, greedy_order=False)
+        assert (
+            greedy.plan.optimized_cycles() <= plain.plan.optimized_cycles()
+        )

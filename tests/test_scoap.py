@@ -1,0 +1,125 @@
+"""Tests for SCOAP testability analysis."""
+
+import pytest
+
+from repro.atpg.scoap import INFINITY, compute_scoap
+from repro.atpg.scoap import testability_profile as profile_of  # avoid pytest name collision
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.model import Fault
+
+
+def single_gate(gtype, n=2):
+    c = Circuit("g")
+    names = [f"i{k}" for k in range(n)]
+    for name in names:
+        c.add_input(name)
+    c.add_output("y")
+    c.add_gate("y", gtype, names)
+    return c
+
+
+class TestControllability:
+    def test_inputs_cost_one(self, s27):
+        scoap = compute_scoap(s27)
+        for net in s27.inputs + s27.state_vars:
+            assert scoap.cc0[net] == 1
+            assert scoap.cc1[net] == 1
+
+    def test_and_gate(self):
+        scoap = compute_scoap(single_gate(GateType.AND))
+        assert scoap.cc0["y"] == 2  # one input 0 + level
+        assert scoap.cc1["y"] == 3  # both inputs 1 + level
+
+    def test_nand_swaps(self):
+        scoap = compute_scoap(single_gate(GateType.NAND))
+        assert scoap.cc0["y"] == 3
+        assert scoap.cc1["y"] == 2
+
+    def test_or_gate(self):
+        scoap = compute_scoap(single_gate(GateType.OR))
+        assert scoap.cc0["y"] == 3
+        assert scoap.cc1["y"] == 2
+
+    def test_xor_gate(self):
+        scoap = compute_scoap(single_gate(GateType.XOR))
+        assert scoap.cc0["y"] == 3  # equal inputs (two assignments) + 1
+        assert scoap.cc1["y"] == 3
+
+    def test_wide_and_costs_grow(self):
+        s2 = compute_scoap(single_gate(GateType.AND, 2))
+        s4 = compute_scoap(single_gate(GateType.AND, 4))
+        assert s4.cc1["y"] > s2.cc1["y"]
+        assert s4.cc0["y"] >= s2.cc0["y"]
+
+    def test_constants(self):
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("k1", GateType.CONST1, [])
+        c.add_gate("y", GateType.AND, ["a", "k1"])
+        scoap = compute_scoap(c)
+        assert scoap.cc1["k1"] == 0
+        assert scoap.cc0["k1"] >= INFINITY
+
+    def test_depth_increases_cost(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.add_output("y")
+        prev = "a"
+        for i in range(5):
+            c.add_gate(f"b{i}", GateType.BUF, [prev])
+            prev = f"b{i}"
+        c.add_gate("y", GateType.BUF, [prev])
+        scoap = compute_scoap(c)
+        assert scoap.cc1["y"] == 1 + 6
+
+
+class TestObservability:
+    def test_outputs_cost_zero(self, s27):
+        scoap = compute_scoap(s27)
+        assert scoap.co["G17"] == 0
+
+    def test_flop_d_net_observable(self, s27):
+        scoap = compute_scoap(s27)
+        for d in s27.next_state_nets:
+            assert scoap.co[d] == 0
+
+    def test_and_side_input(self):
+        scoap = compute_scoap(single_gate(GateType.AND))
+        # Observing i0 requires i1 = 1 (cost 1) + depth 1.
+        assert scoap.co["i0"] == 2
+
+    def test_unobservable_net(self):
+        c = Circuit("dangle")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("y", GateType.BUF, ["a"])
+        c.add_gate("dead", GateType.NOT, ["a"])
+        scoap = compute_scoap(c)
+        assert scoap.co["dead"] >= INFINITY
+
+
+class TestFaultDifficulty:
+    def test_difficulty_composition(self):
+        scoap = compute_scoap(single_gate(GateType.AND))
+        # y s-a-0: control y to 1 (3) + observe y (0).
+        assert scoap.fault_difficulty(Fault(site="y", value=0)) == 3
+        # i0 s-a-1: control i0 to 0 (1) + observe i0 (2).
+        assert scoap.fault_difficulty(Fault(site="i0", value=1)) == 3
+
+    def test_hardest_faults_order(self, s27):
+        from repro.faults.collapse import collapse_faults
+
+        scoap = compute_scoap(s27)
+        faults = collapse_faults(s27)
+        hardest = scoap.hardest_faults(faults, k=5)
+        assert len(hardest) == 5
+        d = [scoap.fault_difficulty(f) for f in hardest]
+        assert d == sorted(d, reverse=True)
+
+    def test_profile_keys(self, s27):
+        profile = profile_of(s27)
+        assert profile["num_faults"] == 32.0
+        assert profile["unreachable_fraction"] == 0.0
+        assert profile["p50"] <= profile["p90"] <= profile["p99"]

@@ -1,0 +1,116 @@
+"""Tests for fault-free sequential simulation and traces."""
+
+import pytest
+
+from repro.simulation.compiled import CompiledModel, Injections
+from repro.simulation.sequential import simulate_test, simulate_state_sequence
+from repro.faults.model import FaultGraph
+from repro.faults.collapse import collapse_faults
+
+S27_SI = [0, 0, 1]
+S27_T = [[0, 1, 1, 1], [1, 0, 0, 1], [0, 1, 1, 1], [1, 0, 0, 1], [0, 1, 0, 0]]
+
+
+class TestSimulateTest:
+    def test_s27_reference_trace(self, s27):
+        """Golden trace (validated against an independent hand simulation
+        of the s27 netlist with our bit orderings)."""
+        model = CompiledModel(s27)
+        trace = simulate_test(model, S27_SI, S27_T)
+        assert trace.states == ["001", "001", "101", "001", "101", "001"]
+        assert trace.outputs == ["1", "1", "1", "1", "1"]
+
+    def test_state_sequence_helper(self, s27):
+        model = CompiledModel(s27)
+        assert simulate_state_sequence(model, S27_SI, S27_T) == [
+            "001", "001", "101", "001", "101", "001",
+        ]
+
+    def test_trace_shapes(self, s27):
+        model = CompiledModel(s27)
+        trace = simulate_test(model, S27_SI, S27_T)
+        assert trace.length == 5
+        assert len(trace.states) == 6
+        assert len(trace.outputs) == 5
+        assert trace.shifts == [0] * 5
+        assert trace.total_shift_cycles == 0
+
+    def test_schedule_changes_states(self, s27):
+        model = CompiledModel(s27)
+        schedule = [(0, ()), (0, ()), (0, ()), (1, (0,)), (0, ())]
+        plain = simulate_test(model, S27_SI, S27_T)
+        shifted = simulate_test(model, S27_SI, S27_T, schedule=schedule)
+        # Identical up to the shift point...
+        assert shifted.states[:3] == plain.states[:3]
+        # ...then the state is the plain state shifted right by 1, fill 0.
+        pre = plain.states[3]
+        assert shifted.states[3] == "0" + pre[:-1]
+        assert shifted.shifts[3] == 1
+        assert shifted.scanout[3] == [int(pre[-1])]
+        assert shifted.total_shift_cycles == 1
+
+    def test_si_arity_checked(self, s27):
+        model = CompiledModel(s27)
+        with pytest.raises(ValueError):
+            simulate_test(model, [0, 1], S27_T)
+
+    def test_schedule_length_checked(self, s27):
+        model = CompiledModel(s27)
+        with pytest.raises(ValueError):
+            simulate_test(model, S27_SI, S27_T, schedule=[(0, ())])
+
+    def test_injected_fault_changes_trace(self, s27):
+        graph = FaultGraph(s27)
+        faults = collapse_faults(s27)
+        # Find a fault whose injection visibly changes something.
+        changed = 0
+        plain = simulate_test(graph.model, S27_SI, S27_T)
+        for fault in faults:
+            inj = Injections.build_whole_word(
+                [(graph.signal_of(fault), 0, fault.value)],
+                graph.model.level_of_signal,
+            )
+            t = simulate_test(graph.model, S27_SI, S27_T, injections=inj)
+            if t.outputs != plain.outputs or t.states != plain.states:
+                changed += 1
+        assert changed > 10  # most faults perturb this 5-vector test
+
+
+class TestTraceRendering:
+    def test_table1_rows(self, s27):
+        model = CompiledModel(s27)
+        trace = simulate_test(model, S27_SI, S27_T)
+        rows = trace.table1_rows()
+        assert len(rows) == 6  # 5 vectors + final state row
+        assert "0111" in rows[0]
+
+    def test_timing_rows_no_shift(self, s27):
+        model = CompiledModel(s27)
+        trace = simulate_test(model, S27_SI, S27_T)
+        rows = trace.timing_rows()
+        assert len(rows) == 6  # L vector rows + final
+        assert all(r.kind != "shift" for r in rows)
+        assert [r.cycle for r in rows] == list(range(6))
+
+    def test_timing_rows_with_shift(self, s27):
+        model = CompiledModel(s27)
+        schedule = [(0, ()), (0, ()), (0, ()), (2, (0, 1)), (0, ())]
+        trace = simulate_test(model, S27_SI, S27_T, schedule=schedule)
+        rows = trace.timing_rows()
+        # 5 vectors + 2 shift cycles + final = 8 rows, cycles contiguous.
+        assert len(rows) == 8
+        assert [r.cycle for r in rows] == list(range(8))
+        shift_rows = [r for r in rows if r.kind == "shift"]
+        assert len(shift_rows) == 2
+        assert all(r.vector is None for r in shift_rows)
+        assert all(r.scanned_out in (0, 1) for r in shift_rows)
+        # The vector of time unit 3 is delayed by 2 cycles (paper Table 2).
+        vec_rows = [r for r in rows if r.kind == "vector"]
+        assert vec_rows[3].cycle == 5
+
+    def test_render_contains_header(self, s27):
+        model = CompiledModel(s27)
+        trace = simulate_test(model, S27_SI, S27_T)
+        text = trace.render(title="demo")
+        assert "demo" in text
+        assert "shift(u)" in text

@@ -1,0 +1,99 @@
+"""Tests for JSON serialization of experiment results."""
+
+import json
+
+import pytest
+
+from repro.core.config import BistConfig
+from repro.core.procedure2 import run_procedure2
+from repro.experiments.serialize import (
+    config_from_dict,
+    config_to_dict,
+    fault_from_dict,
+    fault_to_dict,
+    load_result,
+    load_reports,
+    report_from_dict,
+    report_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_reports,
+    save_result,
+)
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+from repro.faults.model import Fault
+
+
+@pytest.fixture(scope="module")
+def s27_result():
+    from repro.bench_circuits.s27 import s27_circuit
+
+    circuit = s27_circuit()
+    sim = FaultSimulator(circuit)
+    faults = collapse_faults(circuit)
+    cfg = BistConfig(la=4, lb=8, n=4)
+    return run_procedure2(circuit, cfg, faults, simulator=sim)
+
+
+class TestFault:
+    def test_round_trip_stem(self):
+        f = Fault(site="G8", value=1)
+        assert fault_from_dict(fault_to_dict(f)) == f
+
+    def test_round_trip_branch(self):
+        f = Fault(site="G8", value=0, consumer="G15", pin=1)
+        assert fault_from_dict(fault_to_dict(f)) == f
+
+
+class TestConfig:
+    def test_round_trip(self):
+        cfg = BistConfig(la=16, lb=64, n=128, d2=5, reseed_per_test=False)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_json_compatible(self):
+        json.dumps(config_to_dict(BistConfig()))
+
+
+class TestResult:
+    def test_round_trip_preserves_metrics(self, s27_result):
+        back = result_from_dict(result_to_dict(s27_result))
+        assert back.circuit_name == s27_result.circuit_name
+        assert back.config == s27_result.config
+        assert back.ncyc0 == s27_result.ncyc0
+        assert back.ncyc_total == s27_result.ncyc_total
+        assert back.app == s27_result.app
+        assert back.det_total == s27_result.det_total
+        assert back.ls_average == s27_result.ls_average
+        assert back.complete == s27_result.complete
+
+    def test_json_serializable(self, s27_result):
+        text = json.dumps(result_to_dict(s27_result))
+        assert "s27" in text
+
+    def test_file_round_trip(self, tmp_path, s27_result):
+        path = tmp_path / "r.json"
+        save_result(s27_result, path)
+        back = load_result(path)
+        assert back.det_total == s27_result.det_total
+
+    def test_metrics_block_present(self, s27_result):
+        data = result_to_dict(s27_result)
+        assert data["metrics"]["fault_coverage"] == s27_result.fault_coverage
+
+
+class TestReports:
+    def test_report_round_trip(self, tmp_path):
+        from repro.experiments.common import bist_for
+
+        report = bist_for("s27").first_complete(max_combos=4)
+        back = report_from_dict(report_to_dict(report))
+        assert back.circuit_name == "s27"
+        assert back.combo == report.combo
+        assert back.result.det_total == report.result.det_total
+
+        path = tmp_path / "reports.json"
+        save_reports([report], path)
+        loaded = load_reports(path)
+        assert len(loaded) == 1
+        assert loaded[0].combo.label() == report.combo.label()

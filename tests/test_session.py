@@ -1,0 +1,84 @@
+"""Tests for the high-level session API."""
+
+import pytest
+
+from repro.bench_circuits import load_circuit
+from repro.core.config import BistConfig
+from repro.core.parameter_selection import ParameterCombo
+from repro.core.session import LimitedScanBist
+from repro.faults.collapse import collapse_faults
+
+
+@pytest.fixture(scope="module")
+def s27_bist():
+    return LimitedScanBist(load_circuit("s27"), config=BistConfig(la=4, lb=8, n=8))
+
+
+class TestLimitedScanBist:
+    def test_target_faults_are_detectable_subset(self, s27_bist):
+        targets = s27_bist.target_faults
+        collapsed = collapse_faults(s27_bist.circuit)
+        assert set(targets) <= set(collapsed)
+        assert len(targets) == 32  # s27: everything detectable
+
+    def test_explicit_targets_bypass_classification(self):
+        circuit = load_circuit("s27")
+        faults = collapse_faults(circuit)[:5]
+        bist = LimitedScanBist(circuit, target_faults=faults)
+        assert bist.target_faults == faults
+
+    def test_run_with_length_overrides(self, s27_bist):
+        res = s27_bist.run(4, 8, 4)
+        assert res.config.la == 4 and res.config.n == 4
+        res2 = s27_bist.run(n=16)
+        assert res2.config.n == 16 and res2.config.la == 4
+
+    def test_first_complete_returns_complete(self, s27_bist):
+        report = s27_bist.first_complete(max_combos=5)
+        assert report.result.complete
+        assert report.combos_tried >= 1
+        assert report.circuit_name == "s27"
+
+    def test_first_complete_uses_cheapest_first(self, s27_bist):
+        report = s27_bist.first_complete(max_combos=5)
+        # The chosen combo's Ncyc0 equals the formula for its values.
+        from repro.core.cost import ncyc0
+
+        c = report.combo
+        assert c.ncyc0 == ncyc0(3, c.la, c.lb, c.n)
+
+    def test_first_complete_custom_combos(self, s27_bist):
+        combos = [ParameterCombo(la=4, lb=8, n=8, ncyc0=0)]
+        report = s27_bist.first_complete(combos=combos)
+        assert report.combo is combos[0]
+
+    def test_first_complete_incomplete_flagged(self):
+        """With an undetectable target fault, no combo is complete; the
+        best result must come back flagged, not raise."""
+        from repro.circuit.library import GateType
+        from repro.circuit.netlist import Circuit
+        from repro.faults.model import Fault
+
+        c = Circuit("red")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_output("z")
+        c.add_gate("t", GateType.AND, ["a", "b"])
+        c.add_gate("z", GateType.OR, ["a", "t"])
+        c.add_flop("q", "z")
+        bist = LimitedScanBist(
+            c,
+            config=BistConfig(la=2, lb=4, n=2, n_same_fc=1, max_iterations=2),
+            target_faults=[Fault(site="t", value=0)],
+        )
+        report = bist.first_complete(max_combos=2)
+        assert not report.result.complete
+
+    def test_empty_combos_rejected(self, s27_bist):
+        with pytest.raises(ValueError):
+            s27_bist.first_complete(combos=[])
+
+    def test_report_row_renders(self, s27_bist):
+        report = s27_bist.first_complete(max_combos=5)
+        row = report.row()
+        assert "s27" in row

@@ -1,0 +1,79 @@
+"""Fast (s27-scale) tests of the remaining table drivers."""
+
+import pytest
+
+from repro.experiments import table6, table7, table8
+
+
+class TestTable7Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table7.run(circuits=("s27",), max_combos=4)
+
+    def test_runs_for_each_circuit(self, result):
+        assert set(result.runs) == {"s27"}
+        assert set(result.table6_runs) == {"s27"}
+
+    def test_uses_table6_combo(self, result):
+        t6 = result.table6_runs["s27"]
+        t7 = result.runs["s27"]
+        assert (t7.config.la, t7.config.lb, t7.config.n) == (
+            t6.config.la,
+            t6.config.lb,
+            t6.config.n,
+        )
+
+    def test_d1_order_decreasing(self, result):
+        assert result.runs["s27"].config.d1_values == tuple(range(10, 0, -1))
+
+    def test_render(self, result):
+        text = result.render()
+        assert "D1 = 10,9,...,1" in text
+        assert "s27" in text
+
+
+class TestTable8Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table8.run(circuits=("s27",), combos_per_circuit=3, stride=2)
+
+    def test_first_entry_complete(self, result):
+        entries = result.runs["s27"]
+        assert entries
+        assert entries[0][1].complete
+
+    def test_entries_bounded(self, result):
+        assert len(result.runs["s27"]) <= 3
+
+    def test_app_counts_accessor(self, result):
+        apps = result.app_counts("s27")
+        assert len(apps) == len(result.runs["s27"])
+        assert result.app_counts("missing") == []
+
+    def test_render(self, result):
+        assert "Table 8" in result.render()
+
+
+class TestTable6Renderflags:
+    def test_incomplete_marked(self):
+        """An impossible-target run renders 'NO' rather than raising."""
+        from repro.core.parameter_selection import ParameterCombo
+        from repro.core.procedure2 import Procedure2Result
+        from repro.core.config import BistConfig
+        from repro.core.session import CircuitReport
+
+        result = Procedure2Result(
+            circuit_name="x",
+            config=BistConfig(),
+            n_sv=4,
+            num_targets=10,
+            ts0_detected=5,
+        )
+        report = CircuitReport(
+            circuit_name="x",
+            combo=ParameterCombo(la=8, lb=16, n=64, ncyc0=100),
+            result=result,
+        )
+        t6 = table6.Table6Result(reports={"x": report})
+        assert "NO" in t6.render()
+        assert not t6.all_complete()

@@ -1,0 +1,79 @@
+"""Tests for the deterministic ATPG flow."""
+
+import pytest
+
+from repro.atpg.test_generation import generate_deterministic_tests
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def s27_set():
+    from repro.bench_circuits.s27 import s27_circuit
+
+    circuit = s27_circuit()
+    return circuit, generate_deterministic_tests(circuit)
+
+
+class TestGeneration:
+    def test_full_coverage_on_s27(self, s27_set):
+        circuit, det = s27_set
+        assert len(det.covered) == 32
+        assert not det.undetectable
+        assert not det.aborted
+        assert det.coverage() == 1.0
+
+    def test_tests_are_single_vector(self, s27_set):
+        _, det = s27_set
+        assert all(t.length == 1 for t in det.tests)
+        assert all(t.schedule is None for t in det.tests)
+
+    def test_claimed_coverage_is_real(self, s27_set):
+        """Fault-simulating the generated set detects every covered fault."""
+        circuit, det = s27_set
+        sim = FaultSimulator(circuit)
+        hits = sim.simulate_grouped(det.tests, det.covered)
+        assert set(hits) == set(det.covered)
+
+    def test_compaction_helps(self):
+        from repro.bench_circuits.s27 import s27_circuit
+
+        circuit = s27_circuit()
+        loose = generate_deterministic_tests(circuit, compact=False)
+        tight = generate_deterministic_tests(circuit, compact=True)
+        assert tight.size <= loose.size
+        assert len(tight.covered) == len(loose.covered)
+
+    def test_redundant_faults_classified(self):
+        from repro.circuit.library import GateType
+        from repro.circuit.netlist import Circuit
+
+        c = Circuit("red")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_output("z")
+        c.add_gate("t", GateType.AND, ["a", "b"])
+        c.add_gate("z", GateType.OR, ["a", "t"])
+        det = generate_deterministic_tests(c)
+        assert det.undetectable  # t s-a-0 lives here
+        assert det.coverage() == 1.0  # of the detectable ones
+
+    def test_cycles_formula(self, s27_set):
+        _, det = s27_set
+        assert det.full_scan_cycles(3) == (det.size + 1) * 3 + det.size
+
+    def test_deterministic(self):
+        from repro.bench_circuits.s27 import s27_circuit
+
+        a = generate_deterministic_tests(s27_circuit())
+        b = generate_deterministic_tests(s27_circuit())
+        assert [(t.si, t.vectors) for t in a.tests] == [
+            (t.si, t.vectors) for t in b.tests
+        ]
+
+    def test_medium_circuit(self, medium_synth):
+        det = generate_deterministic_tests(medium_synth)
+        assert det.size > 0
+        sim = FaultSimulator(medium_synth)
+        hits = sim.simulate_grouped(det.tests, det.covered)
+        assert set(hits) == set(det.covered)

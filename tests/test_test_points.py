@@ -1,0 +1,130 @@
+"""Tests for test point insertion."""
+
+import pytest
+
+from repro.atpg.scoap import compute_scoap
+from repro.core.test_points import (
+    TestPoint,
+    insert_test_points,
+    plan_test_points,
+    select_test_points,
+)
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.validate import validate_circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator, ScanTest
+from repro.faults.model import Fault
+from repro.rpg.prng import make_source
+from repro.simulation.compiled import CompiledModel
+from repro.simulation.sequential import simulate_test
+
+
+def deep_circuit() -> Circuit:
+    """An 8-input AND tree feeding a flop: classic random-resistant."""
+    c = Circuit("deep")
+    for i in range(8):
+        c.add_input(f"i{i}")
+    c.add_output("y")
+    c.add_gate("t0", GateType.AND, ["i0", "i1", "i2", "i3"])
+    c.add_gate("t1", GateType.AND, ["i4", "i5", "i6", "i7"])
+    c.add_gate("hard", GateType.AND, ["t0", "t1"])
+    c.add_flop("q", "hard")
+    c.add_gate("y", GateType.BUF, ["q"])
+    return c
+
+
+class TestSelection:
+    def test_targets_driver_inputs_not_the_site(self):
+        """A control point on the fault site itself would mask the fault;
+        selection must target the driving gate's inputs instead."""
+        c = deep_circuit()
+        points = select_test_points(c, [Fault(site="hard", value=0)], max_points=4)
+        assert points
+        assert all(p.net != "hard" for p in points)
+        assert {p.net for p in points} <= {"t0", "t1"}
+
+    def test_control_kind_matches_polarity(self):
+        c = deep_circuit()
+        # s-a-0 needs the site at 1: AND needs all inputs 1 -> control1.
+        points = select_test_points(c, [Fault(site="hard", value=0)], max_points=2)
+        assert all(p.kind == "control1" for p in points)
+
+    def test_dedup_per_net(self):
+        c = deep_circuit()
+        faults = [Fault(site="hard", value=0), Fault(site="hard", value=1)]
+        points = select_test_points(c, faults, max_points=8)
+        assert len({p.net for p in points}) == len(points)
+
+    def test_max_points_respected(self):
+        c = deep_circuit()
+        faults = [Fault(site=n, value=0) for n in ("t0", "t1", "hard")]
+        assert len(select_test_points(c, faults, max_points=2)) <= 2
+
+
+class TestInsertion:
+    def test_instrumented_circuit_valid(self):
+        c = deep_circuit()
+        plan = plan_test_points(c, [Fault(site="hard", value=0)], max_points=2)
+        validate_circuit(plan.circuit)
+
+    def test_observe_point_adds_flop(self):
+        c = deep_circuit()
+        inst = insert_test_points(c, [TestPoint(kind="observe", net="t0")])
+        assert inst.num_state_vars == c.num_state_vars + 1
+        assert inst.num_inputs == c.num_inputs
+
+    def test_control_point_adds_enable_input(self):
+        c = deep_circuit()
+        inst = insert_test_points(c, [TestPoint(kind="control1", net="t0")])
+        assert "TEN" in inst.inputs
+
+    def test_functionally_transparent_when_disabled(self):
+        """With TEN = 0 the instrumented circuit behaves identically."""
+        c = deep_circuit()
+        inst = insert_test_points(
+            c,
+            [
+                TestPoint(kind="control1", net="t0"),
+                TestPoint(kind="control0", net="t1"),
+            ],
+        )
+        m_orig = CompiledModel(c)
+        m_inst = CompiledModel(inst)
+        src = make_source(5)
+        for _ in range(20):
+            si = src.bits(1)
+            vec = src.bits(8)
+            t_orig = simulate_test(m_orig, si, [vec])
+            t_inst = simulate_test(m_inst, si, [vec + [0]])  # TEN = 0
+            assert t_orig.outputs == t_inst.outputs
+
+    def test_coverage_improves_with_test_points(self):
+        """The Section 1 claim: test points raise random-pattern coverage
+        of resistant faults."""
+        c = deep_circuit()
+        hard = Fault(site="hard", value=0)  # needs all 8 inputs = 1
+
+        def random_coverage(circuit, fault, n_tests=60, seed=3):
+            sim = FaultSimulator(circuit)
+            src = make_source(seed)
+            tests = [
+                ScanTest(
+                    si=src.bits(circuit.num_state_vars),
+                    vectors=[src.bits(circuit.num_inputs)],
+                )
+                for _ in range(n_tests)
+            ]
+            return len(sim.simulate_grouped(tests, [fault]))
+
+        base = random_coverage(c, hard)
+        plan = plan_test_points(c, [hard], max_points=2)
+        inst_cov = random_coverage(plan.circuit, hard)
+        # P(activation) goes from 2^-8 to ~(1/2)^2 per test.
+        assert inst_cov >= base
+        assert inst_cov == 1
+
+    def test_plan_summary(self):
+        c = deep_circuit()
+        plan = plan_test_points(c, [Fault(site="hard", value=0)], max_points=2)
+        assert "test points" in plan.summary()

@@ -1,0 +1,93 @@
+"""Tests for TS0 generation and the BIST configuration."""
+
+import pytest
+
+from repro.core.config import BistConfig, D1_DECREASING, D1_INCREASING
+from repro.core.test_set import draw_test, generate_ts0, total_vectors
+from repro.rpg.prng import make_source
+
+
+class TestBistConfig:
+    def test_defaults_match_paper(self):
+        cfg = BistConfig()
+        assert (cfg.la, cfg.lb, cfg.n) == (8, 16, 64)
+        assert cfg.d1_values == tuple(range(1, 11))
+
+    def test_la_must_be_less_than_lb(self):
+        with pytest.raises(ValueError):
+            BistConfig(la=16, lb=16)
+        with pytest.raises(ValueError):
+            BistConfig(la=32, lb=16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BistConfig(n=0)
+        with pytest.raises(ValueError):
+            BistConfig(d1_values=())
+        with pytest.raises(ValueError):
+            BistConfig(d1_values=(0,))
+        with pytest.raises(ValueError):
+            BistConfig(n_same_fc=0)
+        with pytest.raises(ValueError):
+            BistConfig(d2=0)
+
+    def test_with_lengths(self):
+        cfg = BistConfig(base_seed=7).with_lengths(16, 64, 128)
+        assert (cfg.la, cfg.lb, cfg.n) == (16, 64, 128)
+        assert cfg.base_seed == 7
+
+    def test_effective_d2(self):
+        assert BistConfig().effective_d2(21) == 22
+        assert BistConfig(d2=5).effective_d2(21) == 5
+
+    def test_seed_for_iteration_distinct(self):
+        cfg = BistConfig()
+        seeds = {cfg.seed_for_iteration(i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_d1_orders(self):
+        assert D1_INCREASING == tuple(range(1, 11))
+        assert D1_DECREASING == tuple(range(10, 0, -1))
+
+
+class TestGenerateTs0:
+    def test_shape(self, s27):
+        cfg = BistConfig(la=4, lb=9, n=5)
+        ts0 = generate_ts0(s27, cfg)
+        assert len(ts0) == 10
+        assert all(t.length == 4 for t in ts0[:5])
+        assert all(t.length == 9 for t in ts0[5:])
+        assert all(len(t.si) == 3 for t in ts0)
+        assert all(len(v) == 4 for t in ts0 for v in t.vectors)
+        assert all(t.schedule is None for t in ts0)
+
+    def test_deterministic(self, s27):
+        cfg = BistConfig(la=4, lb=9, n=3, base_seed=99)
+        a = generate_ts0(s27, cfg)
+        b = generate_ts0(s27, cfg)
+        assert [(t.si, t.vectors) for t in a] == [(t.si, t.vectors) for t in b]
+
+    def test_seed_changes_tests(self, s27):
+        a = generate_ts0(s27, BistConfig(la=4, lb=9, n=3, base_seed=1))
+        b = generate_ts0(s27, BistConfig(la=4, lb=9, n=3, base_seed=2))
+        assert [(t.si, t.vectors) for t in a] != [(t.si, t.vectors) for t in b]
+
+    def test_lfsr_kind(self, s27):
+        cfg = BistConfig(la=4, lb=9, n=3, rng_kind="lfsr")
+        a = generate_ts0(s27, cfg)
+        b = generate_ts0(s27, cfg)
+        assert [(t.si, t.vectors) for t in a] == [(t.si, t.vectors) for t in b]
+
+    def test_total_vectors(self, s27):
+        cfg = BistConfig(la=4, lb=9, n=5)
+        assert total_vectors(generate_ts0(s27, cfg)) == 5 * (4 + 9)
+
+    def test_draw_test_order(self):
+        """SI is drawn before the vectors, from one stream."""
+        src_a = make_source(5)
+        t = draw_test(src_a, n_sv=3, n_pi=2, length=2)
+        src_b = make_source(5)
+        expect_si = src_b.bits(3)
+        expect_vec0 = src_b.bits(2)
+        assert t.si == expect_si
+        assert t.vectors[0] == expect_vec0

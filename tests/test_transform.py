@@ -1,0 +1,131 @@
+"""Tests for netlist transforms (decomposition, fanout branches)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.circuit.library import GateType, eval_gate_bits
+from repro.circuit.netlist import Circuit
+from repro.circuit.transform import (
+    decompose_to_two_input,
+    insert_fanout_branches,
+)
+from repro.circuit.validate import validate_circuit
+from repro.simulation.compiled import CompiledModel
+from repro.simulation.sequential import simulate_test
+
+
+def _wide_gate_circuit() -> Circuit:
+    c = Circuit("wide")
+    for n in ("a", "b", "c", "d"):
+        c.add_input(n)
+    c.add_output("y")
+    c.add_output("z")
+    c.add_gate("y", GateType.NAND, ["a", "b", "c", "d"])
+    c.add_gate("z", GateType.XOR, ["a", "b", "c"])
+    return c
+
+
+class TestDecompose:
+    def test_two_input_only_afterwards(self):
+        dec, _ = decompose_to_two_input(_wide_gate_circuit())
+        assert all(len(g.inputs) <= 2 for g in dec.iter_gates())
+        validate_circuit(dec)
+
+    def test_functionally_equivalent(self):
+        orig = _wide_gate_circuit()
+        dec, _ = decompose_to_two_input(orig)
+        for bits in range(16):
+            vec = [(bits >> i) & 1 for i in range(4)]
+            a, b, c, d = vec
+            expect_y = eval_gate_bits(GateType.NAND, [a, b, c, d])
+            expect_z = eval_gate_bits(GateType.XOR, [a, b, c])
+            model = CompiledModel(dec, decompose=False)
+            trace = simulate_test(model, [], [vec])
+            assert trace.outputs[0] == f"{expect_y}{expect_z}"
+
+    def test_pin_map_is_total(self):
+        orig = _wide_gate_circuit()
+        dec, pin_map = decompose_to_two_input(orig)
+        for gate in orig.iter_gates():
+            for pin in range(len(gate.inputs)):
+                new_consumer, new_pin = pin_map[(gate.output, pin)]
+                new_gate = dec.gate_for(new_consumer)
+                # The mapped pin must read the same source net.
+                assert new_gate.inputs[new_pin] == gate.inputs[pin]
+
+    def test_untouched_gates_map_to_themselves(self, s27):
+        dec, pin_map = decompose_to_two_input(s27)
+        assert dec.num_gates == s27.num_gates
+        for gate in s27.iter_gates():
+            for pin in range(len(gate.inputs)):
+                assert pin_map[(gate.output, pin)] == (gate.output, pin)
+
+    def test_final_stage_keeps_output_name_and_inversion(self):
+        dec, _ = decompose_to_two_input(_wide_gate_circuit())
+        assert dec.gate_for("y").gtype is GateType.NAND
+        assert dec.gate_for("z").gtype is GateType.XOR
+
+
+class TestInsertBranches:
+    def test_multi_fanout_gets_buffers(self, s27):
+        branched, branch_of = insert_fanout_branches(s27)
+        # G11 drives G17, G10 and flop G6 -> three private branches.
+        branches = {
+            net for coord, net in branch_of.items() if net.startswith("G11$b")
+        }
+        assert len(branches) == 3
+        validate_circuit(branched)
+
+    def test_single_fanout_untouched(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("t", GateType.NOT, ["a"])
+        c.add_gate("y", GateType.NOT, ["t"])
+        branched, branch_of = insert_fanout_branches(c)
+        assert branch_of[("y", 0)] == "t"
+        assert branched.num_gates == 2
+
+    def test_po_tap_counts_as_fanout(self):
+        # Net feeds a PO and one gate: the gate pin must get a branch.
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("t")
+        c.add_output("y")
+        c.add_gate("t", GateType.NOT, ["a"])
+        c.add_gate("y", GateType.BUF, ["t"])
+        _, branch_of = insert_fanout_branches(c)
+        assert branch_of[("y", 0)].startswith("t$b")
+
+    def test_behaviour_preserved(self, s27):
+        branched, _ = insert_fanout_branches(s27)
+        m1 = CompiledModel(s27)
+        m2 = CompiledModel(branched, decompose=False)
+        si = [1, 0, 1]
+        vecs = [[0, 1, 1, 1], [1, 0, 0, 1], [1, 1, 1, 1]]
+        t1 = simulate_test(m1, si, vecs)
+        t2 = simulate_test(m2, si, vecs)
+        assert t1.outputs == t2.outputs
+        assert t1.states == t2.states
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_transform_pipeline_preserves_behaviour(seed):
+    """Property: decompose + branch insertion never changes behaviour."""
+    circuit = synthesize(
+        SyntheticSpec(name="p", n_pi=5, n_po=2, n_ff=3, n_gates=30, seed=seed)
+    )
+    dec, _ = decompose_to_two_input(circuit)
+    branched, _ = insert_fanout_branches(dec)
+    m1 = CompiledModel(circuit)
+    m2 = CompiledModel(branched, decompose=False)
+    rng = np.random.Generator(np.random.PCG64(seed))
+    si = rng.integers(0, 2, size=3).tolist()
+    vecs = rng.integers(0, 2, size=(4, 5)).tolist()
+    t1 = simulate_test(m1, si, vecs)
+    t2 = simulate_test(m2, si, vecs)
+    assert t1.outputs == t2.outputs
+    assert t1.states == t2.states

@@ -1,0 +1,102 @@
+"""Tests for structural validation and circuit statistics."""
+
+import pytest
+
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.stats import circuit_stats
+from repro.circuit.validate import (
+    CircuitError,
+    find_dangling,
+    find_issues,
+    validate_circuit,
+)
+
+
+def _broken_circuit() -> Circuit:
+    c = Circuit("broken")
+    c.add_input("a")
+    c.add_output("nowhere")
+    c.add_gate("x", GateType.AND, ["a", "ghost"])
+    return c
+
+
+class TestValidate:
+    def test_clean_circuit_passes(self, s27):
+        validate_circuit(s27)
+
+    def test_synthetic_circuits_pass(self, tiny_synth, medium_synth):
+        validate_circuit(tiny_synth)
+        validate_circuit(medium_synth)
+
+    def test_undriven_po_reported(self):
+        issues = find_issues(_broken_circuit())
+        assert any("nowhere" in i for i in issues)
+
+    def test_undriven_gate_input_reported(self):
+        issues = find_issues(_broken_circuit())
+        assert any("ghost" in i for i in issues)
+
+    def test_validate_raises_with_all_issues(self):
+        with pytest.raises(CircuitError) as exc:
+            validate_circuit(_broken_circuit())
+        assert len(exc.value.issues) >= 2
+
+    def test_no_observable_points(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("x", GateType.NOT, ["a"])
+        issues = find_issues(c)
+        assert any("observable" in i for i in issues)
+
+    def test_undriven_flop_input(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_flop("q", "missing")
+        issues = find_issues(c)
+        assert any("missing" in i for i in issues)
+
+    def test_combinational_cycle_reported(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("x")
+        c.add_gate("x", GateType.AND, ["a", "y"])
+        c.add_gate("y", GateType.AND, ["a", "x"])
+        issues = find_issues(c)
+        assert any("cycle" in i for i in issues)
+
+    def test_find_dangling(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("y", GateType.NOT, ["a"])
+        c.add_gate("unused", GateType.BUF, ["a"])
+        assert find_dangling(c) == ["unused"]
+
+    def test_s27_has_no_dangling(self, s27):
+        assert find_dangling(s27) == []
+
+    def test_synthetic_dangling_fraction_small(self, medium_synth):
+        dangling = find_dangling(medium_synth)
+        total = len(medium_synth.signals())
+        assert len(dangling) / total < 0.08
+
+
+class TestStats:
+    def test_s27_stats(self, s27):
+        st = circuit_stats(s27)
+        assert st.num_inputs == 4
+        assert st.num_outputs == 1
+        assert st.num_flops == 3
+        assert st.num_gates == 10
+        assert st.max_fanin == 2
+        assert st.depth >= 4
+
+    def test_gate_type_counts(self, s27):
+        st = circuit_stats(s27)
+        assert st.gate_type_counts["NOR"] == 3
+        assert st.gate_type_counts["NOT"] == 2
+        assert sum(st.gate_type_counts.values()) == 10
+
+    def test_as_row_contains_name(self, s27):
+        assert "s27" in circuit_stats(s27).as_row()

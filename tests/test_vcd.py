@@ -1,0 +1,77 @@
+"""Tests for VCD export."""
+
+import pytest
+
+from repro.simulation.compiled import CompiledModel
+from repro.simulation.sequential import simulate_test
+from repro.simulation.vcd import VcdWriter, trace_to_vcd, _identifier
+
+
+class TestVcdWriter:
+    def test_header_structure(self):
+        w = VcdWriter("top")
+        w.declare("a")
+        w.set_time(0)
+        w.change("a", 1)
+        text = w.render()
+        assert "$scope module top $end" in text
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert "#0" in text
+
+    def test_duplicate_declare(self):
+        w = VcdWriter()
+        w.declare("a")
+        with pytest.raises(ValueError):
+            w.declare("a")
+
+    def test_time_monotonic(self):
+        w = VcdWriter()
+        w.declare("a")
+        w.set_time(3)
+        with pytest.raises(ValueError):
+            w.set_time(3)
+
+    def test_change_requires_time(self):
+        w = VcdWriter()
+        w.declare("a")
+        with pytest.raises(ValueError):
+            w.change("a", 1)
+
+    def test_redundant_changes_suppressed(self):
+        w = VcdWriter()
+        w.declare("a")
+        w.set_time(0)
+        w.change("a", 1)
+        w.set_time(1)
+        w.change("a", 1)  # no change
+        text = w.render()
+        assert text.count(f"1{w._ids['a']}") == 1
+
+    def test_identifier_uniqueness(self):
+        ids = {_identifier(i) for i in range(500)}
+        assert len(ids) == 500
+
+
+class TestTraceToVcd:
+    def test_s27_trace(self, s27):
+        model = CompiledModel(s27)
+        schedule = [(0, ()), (0, ()), (2, (1, 0)), (0, ())]
+        trace = simulate_test(
+            model,
+            [0, 0, 1],
+            [[0, 1, 1, 1], [1, 0, 0, 1], [0, 1, 1, 1], [1, 0, 0, 1]],
+            schedule=schedule,
+        )
+        text = trace_to_vcd(
+            trace,
+            pi_names=s27.inputs,
+            po_names=s27.outputs,
+            state_names=s27.state_vars,
+        )
+        # All signals declared.
+        for name in s27.inputs + s27.outputs + s27.state_vars:
+            assert f" {name} $end" in text
+        # Timeline covers vectors + shift cycles + final.
+        n_steps = trace.length + trace.total_shift_cycles + 1
+        assert f"#{n_steps - 1}" in text

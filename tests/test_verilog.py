@@ -1,0 +1,118 @@
+"""Tests for the structural Verilog reader/writer."""
+
+import pytest
+
+from repro.bench_circuits.s27 import s27_circuit
+from repro.circuit.library import GateType
+from repro.circuit.verilog import (
+    VerilogParseError,
+    parse_verilog,
+    write_verilog,
+)
+
+SIMPLE = """
+// a comment
+module demo (a, b, y, clk);
+  input a, b, clk;
+  output y;
+  wire t, q;   /* block
+                  comment */
+  nand U1 (t, a, b);
+  dff  FF (q, t, clk);
+  buf  U2 (y, q);
+endmodule
+"""
+
+
+class TestParse:
+    def test_simple_module(self):
+        c = parse_verilog(SIMPLE)
+        assert c.name == "demo"
+        assert c.inputs == ["a", "b"]  # clk stripped
+        assert c.outputs == ["y"]
+        assert c.state_vars == ["q"]
+        assert c.gate_for("t").gtype is GateType.NAND
+
+    def test_dff_without_clock_port(self):
+        text = """
+        module m (a, y);
+          input a; output y;
+          dff F (q, a);
+          buf U (y, q);
+        endmodule
+        """
+        c = parse_verilog(text)
+        assert c.state_vars == ["q"]
+
+    def test_constant_assigns(self):
+        text = """
+        module m (a, y);
+          input a; output y;
+          assign k = 1'b1;
+          and U (y, a, k);
+        endmodule
+        """
+        c = parse_verilog(text)
+        assert c.gate_for("k").gtype is GateType.CONST1
+
+    def test_errors(self):
+        with pytest.raises(VerilogParseError, match="no module"):
+            parse_verilog("wire x;")
+        with pytest.raises(VerilogParseError, match="unknown primitive"):
+            parse_verilog("module m (a); input a; frobnicate U (a, a); endmodule")
+        with pytest.raises(VerilogParseError, match="unrecognized"):
+            parse_verilog("module m (a); input a; always @(posedge clk) q <= a; endmodule")
+        with pytest.raises(VerilogParseError, match="dff"):
+            parse_verilog("module m (a); input a; dff F (q); endmodule")
+
+
+class TestRoundTrip:
+    def test_s27_round_trip(self):
+        original = s27_circuit()
+        text = write_verilog(original)
+        back = parse_verilog(text)
+        assert back.inputs == original.inputs
+        assert back.outputs == original.outputs
+        assert back.state_vars == original.state_vars
+        assert {g.output: (g.gtype, g.inputs) for g in back.iter_gates()} == {
+            g.output: (g.gtype, g.inputs) for g in original.iter_gates()
+        }
+
+    def test_round_trip_behaviour(self, medium_synth):
+        from repro.circuit.transform import decompose_to_two_input
+        from repro.simulation.compiled import CompiledModel
+        from repro.simulation.sequential import simulate_test
+        from repro.rpg.prng import make_source
+
+        back = parse_verilog(write_verilog(medium_synth))
+        m1 = CompiledModel(medium_synth)
+        m2 = CompiledModel(back)
+        src = make_source(1)
+        si = src.bits(medium_synth.num_state_vars)
+        vecs = [src.bits(medium_synth.num_inputs) for _ in range(4)]
+        assert simulate_test(m1, si, vecs).outputs == simulate_test(
+            m2, si, vecs
+        ).outputs
+
+    def test_combinational_circuit_has_no_clock(self):
+        from repro.circuit.netlist import Circuit
+
+        c = Circuit("comb")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("y", GateType.NOT, ["a"])
+        text = write_verilog(c)
+        assert "clk" not in text
+        back = parse_verilog(text)
+        assert back.num_state_vars == 0
+
+    def test_const_round_trip(self):
+        from repro.circuit.netlist import Circuit
+
+        c = Circuit("k")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("k0", GateType.CONST0, [])
+        c.add_gate("y", GateType.OR, ["a", "k0"])
+        back = parse_verilog(write_verilog(c))
+        assert back.gate_for("k0").gtype is GateType.CONST0

@@ -1,0 +1,49 @@
+"""Tests for the weighted random pattern baseline."""
+
+import pytest
+
+from repro.core.baselines import single_vector_bist, weighted_random_bist
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.bench_circuits import load_circuit
+
+    circuit = load_circuit("s208")
+    return circuit, FaultSimulator(circuit), collapse_faults(circuit)
+
+
+class TestWeightedRandomBist:
+    def test_runs_within_budget(self, setup):
+        circuit, sim, faults = setup
+        res = weighted_random_bist(
+            circuit, faults, cycle_budget=3_000, simulator=sim
+        )
+        assert res.cycles <= 3_000
+        assert res.name == "weighted-random-BIST"
+
+    def test_zero_budget(self, setup):
+        circuit, sim, faults = setup
+        res = weighted_random_bist(circuit, faults, cycle_budget=0, simulator=sim)
+        assert res.detected == 0
+
+    def test_deterministic(self, setup):
+        circuit, sim, faults = setup
+        a = weighted_random_bist(circuit, faults, cycle_budget=2_000, simulator=sim)
+        b = weighted_random_bist(circuit, faults, cycle_budget=2_000, simulator=sim)
+        assert a.detected == b.detected
+
+    def test_competitive_with_unweighted(self, setup):
+        """Weighting is designed to help hard faults; over a meaningful
+        budget it should be at least roughly comparable to uniform."""
+        circuit, sim, faults = setup
+        budget = 20_000
+        weighted = weighted_random_bist(
+            circuit, faults, cycle_budget=budget, simulator=sim
+        )
+        uniform = single_vector_bist(
+            circuit, faults, cycle_budget=budget, simulator=sim
+        )
+        assert weighted.detected >= uniform.detected * 0.8
