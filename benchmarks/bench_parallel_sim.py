@@ -1,0 +1,85 @@
+"""Serial vs. fault-sharded parallel simulation throughput.
+
+Measures wall-clock time of the same fault-simulation workload on the
+serial simulator and on ``sharded(n_jobs)`` front-ends, checks the
+detected sets are identical, and saves a table of the measured speedups
+under ``results/``.  The sharding layer's benefit scales with available
+cores: on a single-core host the parallel path is expected to measure
+near (or below) 1.0x because the shards serialize behind one CPU; the
+table records the host's core count next to the numbers so readers can
+interpret them.
+
+``REPRO_BENCH_LARGE=1`` adds s5378 (and s35932 with
+``REPRO_BENCH_HUGE=1``) to the circuit list.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import save_result
+
+from repro.bench_circuits import load_circuit
+from repro.core.config import BistConfig
+from repro.core.limited_scan import build_limited_scan_test_set
+from repro.core.test_set import generate_ts0
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+from repro.faults.sharding import resolve_n_jobs
+
+JOB_COUNTS = (2, 4)
+
+
+def _workload(name):
+    circuit = load_circuit(name)
+    cfg = BistConfig(la=8, lb=16, n=32)
+    ts0 = generate_ts0(circuit, cfg)
+    tests = build_limited_scan_test_set(
+        ts0, 1, 1, cfg, circuit.num_state_vars
+    )
+    return circuit, tests, collapse_faults(circuit)
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_sharded_speedup():
+    names = ["s1423"]
+    if os.environ.get("REPRO_BENCH_LARGE"):
+        names.append("s5378")
+    if os.environ.get("REPRO_BENCH_HUGE"):
+        names.append("s35932")
+
+    lines = [
+        "Fault-sharded parallel simulation: wall-clock vs. the serial path",
+        f"host cores: {os.cpu_count()} (resolve_n_jobs(-1) = {resolve_n_jobs(-1)})",
+        "",
+        f"{'circuit':>8} {'faults':>7} {'serial[s]':>10} "
+        + " ".join(f"{f'n_jobs={j}[s]':>13} {'speedup':>8}" for j in JOB_COUNTS),
+    ]
+    for name in names:
+        circuit, tests, faults = _workload(name)
+        sim = FaultSimulator(circuit)
+        serial, t_serial = _time(
+            lambda: sim.simulate_grouped(tests, faults)
+        )
+        cells = []
+        for jobs in JOB_COUNTS:
+            with sim.sharded(jobs) as psim:
+                parallel, t_par = _time(
+                    lambda: psim.simulate_grouped(tests, faults)
+                )
+            # Identical detected sets -- zero coverage difference.
+            assert set(parallel) == set(serial)
+            cells.append(f"{t_par:>13.3f} {t_serial / t_par:>7.2f}x")
+        lines.append(
+            f"{name:>8} {len(faults):>7} {t_serial:>10.3f} " + " ".join(cells)
+        )
+
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_result("parallel-sim-speedup", text)

@@ -13,6 +13,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.common import bist_for
+from repro.experiments.report import canonical_result_name
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -25,7 +26,7 @@ def results_dir() -> Path:
 
 def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{canonical_result_name(name)}.txt").write_text(text + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -87,6 +87,7 @@ def _config_from_args(args: argparse.Namespace) -> BistConfig:
         d1_values=(
             D1_DECREASING if args.d1_order == "decreasing" else D1_INCREASING
         ),
+        n_jobs=args.jobs,
     )
 
 
@@ -174,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=20010618)
         p.add_argument("--d1-order", choices=("increasing", "decreasing"),
                        default="increasing")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="fault-simulation worker processes "
+                            "(1 = serial, -1 = all cores)")
 
     p = sub.add_parser("run", help="Procedure 2 for one (LA, LB, N)")
     add_bist_args(p)

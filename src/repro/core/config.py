@@ -37,6 +37,10 @@ class BistConfig:
             schedule RNG with ``seed(I)`` for every test; ``False`` uses
             one continuous stream per test set (ablation knob).
         rng_kind: ``'numpy'`` or ``'lfsr'`` (hardware-faithful).
+        n_jobs: worker processes for fault simulation (1 = serial,
+            -1 = all cores).  Purely an execution knob: it shards the
+            fault list across processes and never changes any result,
+            so it is excluded from serialized configurations.
     """
 
     la: int = 8
@@ -49,6 +53,7 @@ class BistConfig:
     d2: Optional[int] = None
     reseed_per_test: bool = True
     rng_kind: str = "numpy"
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.la < 1 or self.lb < 1:
@@ -65,6 +70,8 @@ class BistConfig:
             raise ValueError("N_SAME_FC must be positive")
         if self.d2 is not None and self.d2 < 1:
             raise ValueError("D2 must be positive")
+        if self.n_jobs < 1 and self.n_jobs != -1:
+            raise ValueError("n_jobs must be >= 1, or -1 for all cores")
 
     def with_lengths(self, la: int, lb: int, n: int) -> "BistConfig":
         """A copy with different ``(L_A, L_B, N)`` (everything else kept)."""
@@ -79,6 +86,7 @@ class BistConfig:
             d2=self.d2,
             reseed_per_test=self.reseed_per_test,
             rng_kind=self.rng_kind,
+            n_jobs=self.n_jobs,
         )
 
     def effective_d2(self, n_sv: int) -> int:

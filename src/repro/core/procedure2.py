@@ -11,7 +11,7 @@ without improvement (plus a hard ``max_iterations`` safety cap).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.circuit.netlist import Circuit
 from repro.core.config import BistConfig
@@ -26,6 +26,7 @@ from repro.faults.fault_sim import (
     ScanTest,
 )
 from repro.faults.model import Fault
+from repro.faults.sharding import ShardedFaultSimulator, resolve_n_jobs
 
 
 @dataclass
@@ -113,6 +114,7 @@ def run_procedure2(
     simulator: Optional[FaultSimulator] = None,
     policy: Optional[ObservationPolicy] = None,
     ts0: Optional[List[ScanTest]] = None,
+    n_jobs: Optional[int] = None,
 ) -> Procedure2Result:
     """Run Procedure 2 for ``circuit`` under ``config``.
 
@@ -120,8 +122,30 @@ def run_procedure2(
     :func:`repro.atpg.classify_faults`); including undetectable faults
     simply makes 100% coverage unreachable, which is reported as an
     incomplete run, never an error.
+
+    ``n_jobs`` (default: ``config.n_jobs``) shards the fault list across
+    worker processes for every fault-simulation call; one pool lives for
+    the whole run so workers keep their compiled model across iterations.
+    Results are identical to the serial run for any ``n_jobs``.
     """
     simulator = simulator or FaultSimulator(circuit)
+    jobs = resolve_n_jobs(config.n_jobs if n_jobs is None else n_jobs)
+    sim = simulator.sharded(jobs) if jobs > 1 else simulator
+    try:
+        return _run_procedure2_body(circuit, config, target_faults, sim, policy, ts0)
+    finally:
+        if sim is not simulator:
+            sim.close()
+
+
+def _run_procedure2_body(
+    circuit: Circuit,
+    config: BistConfig,
+    target_faults: Sequence[Fault],
+    simulator: Union[FaultSimulator, ShardedFaultSimulator],
+    policy: Optional[ObservationPolicy],
+    ts0: Optional[List[ScanTest]],
+) -> Procedure2Result:
     ts0 = ts0 if ts0 is not None else generate_ts0(circuit, config)
     # Under partial scan the chain length plays the role of N_SV in both
     # the cost model and Procedure 1's D2; under full scan they coincide.

@@ -13,15 +13,26 @@ from repro.bench_circuits import load_circuit
 from repro.core.config import BistConfig
 from repro.core.session import LimitedScanBist
 
-_SESSIONS: Dict[Tuple[str, int], LimitedScanBist] = {}
+_SESSIONS: Dict[Tuple[str, int, int], LimitedScanBist] = {}
+
+#: Default fault-simulation parallelism for experiment sessions; set by
+#: the runner's ``--jobs`` flag.  Results are identical for any value.
+_DEFAULT_N_JOBS = 1
+
+
+def set_default_n_jobs(n_jobs: int) -> None:
+    """Set the ``n_jobs`` used by sessions created after this call."""
+    global _DEFAULT_N_JOBS
+    _DEFAULT_N_JOBS = n_jobs
 
 
 def bist_for(name: str, base_seed: int = 20010618) -> LimitedScanBist:
     """A cached :class:`LimitedScanBist` session for a catalog circuit."""
-    key = (name, base_seed)
+    key = (name, base_seed, _DEFAULT_N_JOBS)
     if key not in _SESSIONS:
         _SESSIONS[key] = LimitedScanBist(
-            load_circuit(name), config=BistConfig(base_seed=base_seed)
+            load_circuit(name),
+            config=BistConfig(base_seed=base_seed, n_jobs=_DEFAULT_N_JOBS),
         )
     return _SESSIONS[key]
 

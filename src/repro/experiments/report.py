@@ -2,7 +2,24 @@
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def canonical_result_name(name: str) -> str:
+    """The canonical file stem for a results artifact.
+
+    Historically the experiment runner wrote hyphenated names
+    (``ablation-observation.txt``) while the benchmark harness wrote
+    underscored ones (``ablation_observation.txt``), leaving duplicate
+    files in ``results/``.  Every writer now routes names through this
+    function: lowercase, with runs of non-alphanumerics collapsed to a
+    single underscore.
+    """
+    stem = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+    if not stem:
+        raise ValueError(f"result name {name!r} has no usable characters")
+    return stem
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

@@ -2,10 +2,12 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--full] [--out results/]
+    python -m repro.experiments.runner [--full] [--out results/] [--jobs N]
 
 ``--full`` runs the paper-scale grids and circuit lists (minutes to
-hours); the default finishes in a few minutes on a laptop.
+hours); the default finishes in a few minutes on a laptop.  ``--jobs N``
+shards fault simulation across ``N`` worker processes (``-1`` = all
+cores); every reported number is identical for any value.
 """
 
 from __future__ import annotations
@@ -16,10 +18,11 @@ from pathlib import Path
 from typing import Callable, List, Sequence, Tuple
 
 from repro.experiments import ablations, table1, table3, table4, table5, table6, table7, table8
-from repro.experiments.report import format_table
+from repro.experiments.common import set_default_n_jobs
+from repro.experiments.report import canonical_result_name, format_table
 
 
-def _run_all(full: bool) -> List[Tuple[str, str]]:
+def _run_all(full: bool, out_dir: Path) -> List[Tuple[str, str]]:
     sections: List[Tuple[str, str]] = []
 
     def add(name: str, fn: Callable[[], str]) -> None:
@@ -42,8 +45,7 @@ def _run_all(full: bool) -> List[Tuple[str, str]]:
         # Machine-readable copy alongside the text table.
         from repro.experiments.serialize import save_reports
 
-        Path("results").mkdir(exist_ok=True)
-        save_reports(list(result.reports.values()), "results/table6.json")
+        save_reports(list(result.reports.values()), out_dir / "table6.json")
         return result.render()
 
     add("table6", run_table6)
@@ -92,14 +94,17 @@ def _run_all(full: bool) -> List[Tuple[str, str]]:
 
 
 def main(argv: Sequence[str] = ()) -> None:
+    argv = list(argv)
     full = "--full" in argv
     out_dir = Path("results")
     if "--out" in argv:
-        out_dir = Path(argv[list(argv).index("--out") + 1])
+        out_dir = Path(argv[argv.index("--out") + 1])
+    if "--jobs" in argv:
+        set_default_n_jobs(int(argv[argv.index("--jobs") + 1]))
     out_dir.mkdir(parents=True, exist_ok=True)
-    sections = _run_all(full)
+    sections = _run_all(full, out_dir)
     for name, text in sections:
-        (out_dir / f"{name}.txt").write_text(text + "\n")
+        (out_dir / f"{canonical_result_name(name)}.txt").write_text(text + "\n")
     combined = "\n\n".join(f"## {name}\n\n{text}" for name, text in sections)
     (out_dir / "all_experiments.txt").write_text(combined + "\n")
     print(f"\nwrote {len(sections)} sections to {out_dir}/")

@@ -9,7 +9,9 @@
   outputs, at bits shifted out by limited scan operations, and at the
   final scan-out,
 - :mod:`repro.faults.ppsfp` -- parallel-pattern single-fault propagation
-  for the purely combinational (single-vector, full-scan) setting.
+  for the purely combinational (single-vector, full-scan) setting,
+- :mod:`repro.faults.sharding` -- word-aligned fault-list sharding across
+  a worker-process pool, with a deterministic merge and serial fallback.
 """
 
 from repro.faults.model import Fault, FaultGraph, generate_faults
@@ -26,6 +28,7 @@ from repro.faults.transition import (
     generate_transition_faults,
 )
 from repro.faults.dictionary import FaultDictionary, build_dictionary, diagnose
+from repro.faults.sharding import ShardedFaultSimulator, resolve_n_jobs, shard_faults
 
 __all__ = [
     "Fault",
@@ -42,4 +45,7 @@ __all__ = [
     "FaultDictionary",
     "build_dictionary",
     "diagnose",
+    "ShardedFaultSimulator",
+    "resolve_n_jobs",
+    "shard_faults",
 ]

@@ -400,6 +400,17 @@ class FaultSimulator:
         records = self.simulate(tests, faults, policy)
         return [f for f in faults if f in records]
 
+    def sharded(self, n_jobs: int) -> "ShardedFaultSimulator":
+        """A fault-sharded parallel front-end over this simulator.
+
+        The returned object has the same simulate surface; close it (or
+        use it as a context manager) to release the worker pool.
+        ``n_jobs=1`` returns a front-end that runs everything serially.
+        """
+        from repro.faults.sharding import ShardedFaultSimulator
+
+        return ShardedFaultSimulator(self, n_jobs)
+
     # ------------------------------------------------------------------
     def _check_test(self, test: ScanTest) -> None:
         if len(test.si) != self.chain_length:

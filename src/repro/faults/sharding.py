@@ -1,0 +1,241 @@
+"""Parallel fault-simulation sharding.
+
+The packed fault list (64 faults per ``uint64`` word) is split into
+word-aligned contiguous shards and every shard is simulated by a worker
+process holding its own replica of the simulator.  Faults are independent
+of each other in the parallel-fault model -- dropping a detected fault
+never changes another fault's detection record -- so sharding by fault
+words is embarrassingly parallel and the merged result is bit-exact with
+the serial simulator.
+
+Two guarantees shape the design:
+
+- **Determinism**: the merged detection records are re-ordered by
+  ``(test_index, time_unit, position in the input fault list)``, so the
+  output never depends on worker scheduling.
+- **Graceful degradation**: any pool failure (a worker dying, a pickling
+  problem, an exhausted system) falls back to the serial simulator with a
+  ``RuntimeWarning`` -- a parallel run may be slow, but never wrong or
+  fatal.
+
+Workers are initialized once per process with a pickled replica of the
+simulator (the compiled model pickles as flat numpy arrays; no
+re-levelization happens in the worker), then receive only the test list
+and their fault shard per task.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.model import Fault
+from repro.simulation.compiled import shard_word_ranges
+
+#: Faults per simulation word (bits of a uint64).
+WORD_BITS = 64
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` knob: ``None``/1 serial, -1 = all cores."""
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return max(os.cpu_count() or 1, 1)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
+def shard_faults(faults: Sequence[Fault], n_shards: int) -> List[List[Fault]]:
+    """Split ``faults`` into word-aligned contiguous shards.
+
+    Shard boundaries are multiples of 64 faults so each worker packs its
+    shard into full words exactly as the serial simulator would.
+    """
+    faults = list(faults)
+    n_words = (len(faults) + WORD_BITS - 1) // WORD_BITS
+    return [
+        faults[lo * WORD_BITS : hi * WORD_BITS]
+        for lo, hi in shard_word_ranges(n_words, n_shards)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  One simulator replica per process, installed by
+# the pool initializer; tasks then name a method to call on it.
+# ----------------------------------------------------------------------
+_WORKER_SIM: Any = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_SIM
+    _WORKER_SIM = pickle.loads(payload)
+
+
+def _run_worker_method(method: str, args: tuple, kwargs: dict) -> Any:
+    if _WORKER_SIM is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker pool used before initialization")
+    return getattr(_WORKER_SIM, method)(*args, **kwargs)
+
+
+class SimulatorPool:
+    """A process pool whose workers each hold a replica of one simulator.
+
+    The replica is shipped once per worker (pool initializer), so tasks
+    only pay to pickle their own arguments.  Any failure marks the pool
+    broken; callers are expected to fall back to their serial path.
+    """
+
+    def __init__(self, simulator: Any, n_jobs: int) -> None:
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._payload = pickle.dumps(simulator)
+        self._executor: Optional[Executor] = None
+        self.broken = False
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_jobs,
+                initializer=_init_worker,
+                initargs=(self._payload,),
+            )
+        return self._executor
+
+    def map_method(self, method: str, calls: Sequence[Tuple[tuple, dict]]) -> List[Any]:
+        """Run ``simulator.method(*args, **kwargs)`` for every call, in order.
+
+        Raises whatever the pool raises; the caller owns the fallback.
+        """
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_run_worker_method, method, args, kwargs)
+            for args, kwargs in calls
+        ]
+        try:
+            return [f.result() for f in futures]
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "SimulatorPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ShardedFaultSimulator:
+    """Fault-sharded parallel front-end for a :class:`FaultSimulator`.
+
+    Exposes the same ``simulate`` / ``simulate_grouped`` / ``detected_by``
+    surface as the serial simulator; with ``n_jobs > 1`` the fault list is
+    sharded across a :class:`SimulatorPool` and the per-shard detection
+    records are merged deterministically.  ``n_jobs == 1`` bypasses the
+    pool entirely and is byte-for-byte the serial path.
+
+    Use as a context manager (or call :meth:`close`) so worker processes
+    do not outlive the work.
+    """
+
+    def __init__(self, base: Any, n_jobs: int = 1) -> None:
+        self.base = base
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self._pool: Optional[SimulatorPool] = None
+        self._fell_back = False
+
+    # -- pass-throughs the callers rely on ------------------------------
+    @property
+    def chain_length(self) -> int:
+        return self.base.chain_length
+
+    @property
+    def graph(self):
+        return self.base.graph
+
+    @property
+    def chain(self):
+        return self.base.chain
+
+    # -------------------------------------------------------------------
+    def simulate(self, tests, faults, policy=None):
+        return self._dispatch("simulate", tests, faults, policy)
+
+    def simulate_grouped(self, tests, faults, policy=None, max_cols: int = 4096):
+        return self._dispatch(
+            "simulate_grouped", tests, faults, policy, max_cols=max_cols
+        )
+
+    def detected_by(self, tests, faults, policy=None) -> List[Fault]:
+        records = self.simulate(tests, faults, policy)
+        return [f for f in faults if f in records]
+
+    # -------------------------------------------------------------------
+    def _dispatch(self, method: str, tests, faults, policy, **kwargs):
+        tests = list(tests)
+        faults = list(faults)
+        serial = getattr(self.base, method)
+        if self.n_jobs <= 1 or self._fell_back:
+            return serial(tests, faults, policy, **kwargs)
+        shards = shard_faults(faults, self.n_jobs)
+        if len(shards) <= 1:
+            return serial(tests, faults, policy, **kwargs)
+        try:
+            if self._pool is None:
+                self._pool = SimulatorPool(self.base, self.n_jobs)
+            results = self._pool.map_method(
+                method, [((tests, shard, policy), kwargs) for shard in shards]
+            )
+        except Exception as exc:
+            warnings.warn(
+                f"parallel fault simulation failed ({exc!r}); "
+                "falling back to the serial simulator",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._fell_back = True
+            self.close()
+            return serial(tests, faults, policy, **kwargs)
+        return _merge_records(results, faults)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedFaultSimulator":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _merge_records(
+    shard_records: Sequence[Dict[Fault, Any]], faults: Sequence[Fault]
+) -> Dict[Fault, Any]:
+    """Merge disjoint per-shard record dicts into one deterministic dict.
+
+    Shards partition the fault list, so the union is conflict-free; the
+    merged dict is ordered by ``(test_index, time_unit, input position)``
+    -- the serial simulator's first-detection order -- so downstream
+    consumers never observe worker-completion order.
+    """
+    position = {fault: i for i, fault in enumerate(faults)}
+    combined: Dict[Fault, Any] = {}
+    for records in shard_records:
+        combined.update(records)
+    return dict(
+        sorted(
+            combined.items(),
+            key=lambda kv: (kv[1].test_index, kv[1].time_unit, position[kv[0]]),
+        )
+    )

@@ -22,6 +22,7 @@ def s208_run():
     return circuit, sim, targets, result
 
 
+@pytest.mark.slow
 class TestCompaction:
     def test_preserves_coverage(self, s208_run):
         circuit, sim, targets, result = s208_run

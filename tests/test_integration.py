@@ -9,6 +9,8 @@ import dataclasses
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.baselines import ts0_only
 from repro.core.config import BistConfig
 from repro.core.cost import ncyc0

@@ -1,0 +1,251 @@
+"""The fault-sharded parallel simulation layer.
+
+Covers the sharding helpers, bit-exact equivalence with the serial
+simulator, the deterministic merge order, graceful degradation to the
+serial path, the PPSFP fault split, and the n_jobs=1-vs-4 determinism
+regression on Procedure 2 (byte-identical serialized results).
+"""
+
+import dataclasses
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.core.config import BistConfig
+from repro.core.procedure2 import run_procedure2
+from repro.core.test_set import generate_ts0
+from repro.experiments.serialize import result_to_dict
+from repro.faults import sharding
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator, ObservationPolicy
+from repro.faults.model import FaultGraph
+from repro.faults.ppsfp import CombinationalFaultSimulator, pack_patterns
+from repro.faults.sharding import (
+    ShardedFaultSimulator,
+    resolve_n_jobs,
+    shard_faults,
+)
+from repro.rpg.prng import make_source
+from repro.simulation.compiled import shard_word_ranges
+from tests.test_fault_sim_grouped import mixed_tests
+
+
+class TestShardHelpers:
+    def test_word_ranges_cover_and_balance(self):
+        ranges = shard_word_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+        assert shard_word_ranges(2, 5) == [(0, 1), (1, 2)]
+        assert shard_word_ranges(0, 4) == []
+        assert shard_word_ranges(7, 1) == [(0, 7)]
+
+    def test_word_ranges_validate(self):
+        with pytest.raises(ValueError):
+            shard_word_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            shard_word_ranges(4, 0)
+
+    def test_shard_faults_word_aligned(self, s27):
+        faults = collapse_faults(s27) * 5  # 160 faults -> 3 words
+        shards = shard_faults(faults, 2)
+        assert [f for s in shards for f in s] == list(faults)
+        assert all(len(s) % 64 == 0 for s in shards[:-1])
+
+    def test_shard_faults_fewer_than_requested(self, s27):
+        faults = collapse_faults(s27)  # 32 faults = one word
+        assert len(shard_faults(faults, 8)) == 1
+
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(-1) >= 1
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_n_jobs(-2)
+
+    def test_config_validates_n_jobs(self):
+        assert BistConfig(n_jobs=4).n_jobs == 4
+        assert BistConfig(n_jobs=-1).n_jobs == -1
+        with pytest.raises(ValueError):
+            BistConfig(n_jobs=0)
+
+    def test_with_lengths_keeps_n_jobs(self):
+        cfg = BistConfig(n_jobs=4).with_lengths(8, 32, 16)
+        assert cfg.n_jobs == 4
+
+
+class TestShardedEquivalence:
+    def test_simulate_records_identical(self, s27):
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        tests = mixed_tests(s27, 31)
+        serial = sim.simulate(tests, faults)
+        with sim.sharded(3) as psim:
+            parallel = psim.simulate(tests, faults)
+        assert parallel == serial
+        # The merged dict preserves the serial first-detection order.
+        assert list(parallel) == list(serial)
+
+    def test_simulate_grouped_sets_identical(self, medium_synth):
+        sim = FaultSimulator(medium_synth)
+        faults = collapse_faults(medium_synth)
+        tests = mixed_tests(medium_synth, 7)
+        serial = sim.simulate_grouped(tests, faults)
+        with sim.sharded(2) as psim:
+            parallel = psim.simulate_grouped(tests, faults)
+        assert set(parallel) == set(serial)
+
+    def test_restricted_policy(self, s27):
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        tests = mixed_tests(s27, 13)
+        policy = ObservationPolicy(limited_scan_out=False)
+        with sim.sharded(2) as psim:
+            assert psim.simulate(tests, faults, policy) == sim.simulate(
+                tests, faults, policy
+            )
+
+    def test_n_jobs_1_bypasses_pool(self, s27):
+        sim = FaultSimulator(s27)
+        psim = sim.sharded(1)
+        faults = collapse_faults(s27)
+        tests = mixed_tests(s27, 3)
+        assert psim.simulate(tests, faults) == sim.simulate(tests, faults)
+        assert psim._pool is None
+        psim.close()
+
+    def test_detected_by_universe_order(self, s27):
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        tests = mixed_tests(s27, 5)
+        with sim.sharded(2) as psim:
+            assert psim.detected_by(tests, faults) == sim.detected_by(
+                tests, faults
+            )
+
+
+class TestGracefulDegradation:
+    def test_pool_failure_falls_back_to_serial(self, medium_synth, monkeypatch):
+        class BrokenPool:
+            def __init__(self, *a, **k):
+                pass
+
+            def map_method(self, *a, **k):
+                raise RuntimeError("worker died")
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(sharding, "SimulatorPool", BrokenPool)
+        sim = FaultSimulator(medium_synth)
+        faults = collapse_faults(medium_synth)  # > 64 faults: real sharding
+        assert len(faults) > 64
+        tests = mixed_tests(medium_synth, 11)
+        with ShardedFaultSimulator(sim, 2) as psim:
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                records = psim.simulate(tests, faults)
+            assert records == sim.simulate(tests, faults)
+            # After a failure the front-end stays serial, silently.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                again = psim.simulate(tests, faults)
+            assert again == records
+
+    def test_ppsfp_failure_falls_back(self, s27, monkeypatch):
+        class BrokenPool:
+            def __init__(self, *a, **k):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *a):
+                pass
+
+            def map_method(self, *a, **k):
+                raise RuntimeError("no fork for you")
+
+        monkeypatch.setattr(sharding, "SimulatorPool", BrokenPool)
+        graph = FaultGraph(s27)
+        csim = CombinationalFaultSimulator(graph)
+        faults = collapse_faults(s27)
+        src = make_source(3)
+        patterns = np.array(
+            [src.bits(csim.num_inputs) for _ in range(32)], dtype=np.uint8
+        )
+        words = pack_patterns(patterns)
+        mask = np.full(1, np.uint64(0xFFFFFFFF))
+        serial = csim.detected(words, faults, mask)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            parallel = csim.detected(words, faults, mask, n_jobs=2)
+        assert parallel == serial
+
+
+class TestPpsfpSharded:
+    def test_same_hits_same_order(self, s27):
+        graph = FaultGraph(s27)
+        csim = CombinationalFaultSimulator(graph)
+        faults = collapse_faults(s27)
+        src = make_source(9)
+        patterns = np.array(
+            [src.bits(csim.num_inputs) for _ in range(64)], dtype=np.uint8
+        )
+        words = pack_patterns(patterns)
+        serial = csim.detected(words, faults)
+        parallel = csim.detected(words, faults, n_jobs=2)
+        assert parallel == serial
+
+
+class TestProcedure2Determinism:
+    """Same seed => byte-identical serialized results for n_jobs 1 vs 4."""
+
+    CFG = BistConfig(la=4, lb=8, n=16, n_same_fc=2, max_iterations=6)
+
+    def _serialized(self, circuit, cfg):
+        result = run_procedure2(circuit, cfg, collapse_faults(circuit))
+        return json.dumps(result_to_dict(result), sort_keys=True)
+
+    def test_s27_byte_identical(self, s27):
+        serial = self._serialized(s27, self.CFG)
+        parallel = self._serialized(
+            s27, dataclasses.replace(self.CFG, n_jobs=4)
+        )
+        assert parallel == serial
+
+    def test_synthetic_byte_identical(self):
+        circuit = synthesize(
+            SyntheticSpec(name="det", n_pi=5, n_po=2, n_ff=5, n_gates=40, seed=23)
+        )
+        serial = self._serialized(circuit, self.CFG)
+        parallel = self._serialized(
+            circuit, dataclasses.replace(self.CFG, n_jobs=4)
+        )
+        assert parallel == serial
+
+    def test_explicit_n_jobs_argument_wins(self, s27):
+        # The n_jobs parameter overrides config.n_jobs; forcing the
+        # config-parallel run serial still matches the baseline byte for
+        # byte (n_jobs is not serialized).
+        cfg = dataclasses.replace(self.CFG, n_jobs=4)
+        faults = collapse_faults(s27)
+        forced_serial = run_procedure2(s27, cfg, faults, n_jobs=1)
+        baseline = run_procedure2(s27, self.CFG, faults)
+        assert json.dumps(result_to_dict(forced_serial)) == json.dumps(
+            result_to_dict(baseline)
+        )
+
+
+class TestTs0Parallel:
+    def test_ts0_detection_counts_match(self, s27):
+        cfg = BistConfig(la=4, lb=8, n=8)
+        ts0 = generate_ts0(s27, cfg)
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        serial = sim.simulate_grouped(ts0, faults)
+        with sim.sharded(4) as psim:
+            parallel = psim.simulate_grouped(ts0, faults)
+        assert set(parallel) == set(serial)

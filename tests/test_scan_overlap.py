@@ -101,6 +101,7 @@ class TestExperiment:
         assert out.optimized_detected == out.baseline_detected
         assert out.plan.optimized_cycles() <= out.plan.full_scan_cycles()
 
+    @pytest.mark.slow
     def test_repair_restores_coverage(self, medium_synth):
         out = overlap_experiment(medium_synth, repair=True)
         assert out.optimized_detected == out.baseline_detected

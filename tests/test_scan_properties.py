@@ -1,0 +1,116 @@
+"""Property-style tests for the scan-chain primitives.
+
+``limited_shift``/``full_scan_state`` are the bookkeeping under every
+limited-scan schedule in the library, so their invariants are checked
+against an independent scalar model (plain Python lists) across seeded
+random cases:
+
+- shifting by ``k`` matches manual bit bookkeeping (bits observed in
+  shift order from the right end, fill entering on the left),
+- a full-scan round trip restores/observes the scanned-in state,
+- shift amount 0 is a no-op,
+- two consecutive shifts compose into one shift of the combined length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation.scan import (
+    full_scan_state,
+    limited_shift,
+    state_to_bits,
+)
+
+
+def scalar_shift(state, k, fill):
+    """Independent scalar model: returns (new_state, out_bits)."""
+    out = [state[len(state) - 1 - j] for j in range(k)]
+    new = list(fill[::-1]) + state[: len(state) - k]
+    return new, out
+
+
+@st.composite
+def shift_cases(draw, max_sv=12):
+    n_sv = draw(st.integers(min_value=1, max_value=max_sv))
+    state = draw(st.lists(st.integers(0, 1), min_size=n_sv, max_size=n_sv))
+    k = draw(st.integers(min_value=0, max_value=n_sv))
+    fill = draw(st.lists(st.integers(0, 1), min_size=k, max_size=k))
+    return state, k, fill
+
+
+@settings(max_examples=200, deadline=None)
+@given(shift_cases())
+def test_limited_shift_matches_scalar_model(case):
+    state_bits, k, fill = case
+    state = full_scan_state(len(state_bits), state_bits, n_words=1)
+    new_state, out_words = limited_shift(state, k, fill)
+    want_state, want_out = scalar_shift(state_bits, k, fill)
+    assert state_to_bits(new_state) == want_state
+    assert out_words.shape == (k, 1)
+    got_out = [int(bool(out_words[j, 0] & np.uint64(1))) for j in range(k)]
+    assert got_out == want_out
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=12))
+def test_full_scan_round_trip(si):
+    """A complete scan observes exactly the scanned-in state (right end
+    first) and leaves the chain holding the fill."""
+    n_sv = len(si)
+    state = full_scan_state(n_sv, si, n_words=1)
+    assert state_to_bits(state) == list(si)
+    fill = [1 - b for b in si]
+    new_state, out_words = limited_shift(state, n_sv, fill)
+    got_out = [int(bool(out_words[j, 0] & np.uint64(1))) for j in range(n_sv)]
+    assert got_out == list(si[::-1])
+    assert state_to_bits(new_state) == list(fill[::-1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=12))
+def test_shift_zero_is_noop(si):
+    state = full_scan_state(len(si), si, n_words=1)
+    new_state, out_words = limited_shift(state, 0, [])
+    assert np.array_equal(new_state, state)
+    assert new_state is not state  # a copy, never an alias
+    assert out_words.shape == (0, 1)
+
+
+@st.composite
+def composed_shifts(draw, max_sv=12):
+    n_sv = draw(st.integers(min_value=2, max_value=max_sv))
+    state = draw(st.lists(st.integers(0, 1), min_size=n_sv, max_size=n_sv))
+    k1 = draw(st.integers(min_value=0, max_value=n_sv))
+    k2 = draw(st.integers(min_value=0, max_value=n_sv - k1))
+    fill = draw(
+        st.lists(st.integers(0, 1), min_size=k1 + k2, max_size=k1 + k2)
+    )
+    return state, k1, k2, fill
+
+
+@settings(max_examples=100, deadline=None)
+@given(composed_shifts())
+def test_consecutive_shifts_compose(case):
+    """shift(k1) then shift(k2) == shift(k1 + k2) with concatenated fill,
+    as long as k1 + k2 <= n_sv (no bit both enters and leaves)."""
+    state_bits, k1, k2, fill = case
+    state = full_scan_state(len(state_bits), state_bits, n_words=1)
+    s1, out1 = limited_shift(state, k1, fill[:k1])
+    s2, out2 = limited_shift(s1, k2, fill[k1:])
+    s_once, out_once = limited_shift(state, k1 + k2, fill)
+    assert np.array_equal(s2, s_once)
+    assert np.array_equal(np.concatenate([out1, out2]), out_once)
+
+
+def test_limited_shift_validates():
+    state = full_scan_state(4, [0, 1, 0, 1], n_words=1)
+    with pytest.raises(ValueError):
+        limited_shift(state, 5, [0] * 5)
+    with pytest.raises(ValueError):
+        limited_shift(state, -1, [])
+    with pytest.raises(ValueError):
+        limited_shift(state, 2, [0])  # wrong fill length

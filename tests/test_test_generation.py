@@ -71,6 +71,7 @@ class TestGeneration:
             (t.si, t.vectors) for t in b.tests
         ]
 
+    @pytest.mark.slow
     def test_medium_circuit(self, medium_synth):
         det = generate_deterministic_tests(medium_synth)
         assert det.size > 0

@@ -95,6 +95,7 @@ class TestDetection:
         detected = sim.simulate(tests, faults)
         assert len(detected) > len(faults) // 3
 
+    @pytest.mark.slow
     def test_longer_sequences_do_better(self):
         circuit = load_circuit("s298")
         sim = TransitionFaultSimulator(circuit)

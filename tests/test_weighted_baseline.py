@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.baselines import single_vector_bist, weighted_random_bist
 from repro.faults.collapse import collapse_faults
 from repro.faults.fault_sim import FaultSimulator
