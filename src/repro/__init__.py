@@ -14,6 +14,7 @@ Quick start::
 Subpackages:
 
 - :mod:`repro.circuit` -- gate-level netlists, ``.bench`` I/O, transforms
+- :mod:`repro.analysis` -- design-rule & testability linting (``repro lint``)
 - :mod:`repro.simulation` -- bit-parallel logic simulation, scan model
 - :mod:`repro.faults` -- stuck-at faults, collapsing, fault simulation
 - :mod:`repro.atpg` -- PODEM and detectability classification

@@ -1,0 +1,55 @@
+"""Static analysis of circuits: design-rule and testability linting.
+
+Two layers of pre-simulation checking, built on a shared rule registry:
+
+- :mod:`repro.analysis.structural` -- ``S###`` rules: combinational
+  loops, undriven/multiply-driven nets, self-loops, dangling outputs,
+  dead state and dead logic.  ERRORs here mean the simulators would
+  crash or mis-simulate.
+- :mod:`repro.analysis.testability` -- ``T###`` rules: SCOAP-based
+  random-pattern-resistance, untestable nets, unobservable scan
+  positions, fanout statistics.  WARNINGs here predict wasted
+  fault-simulation effort before a single cycle is spent.
+
+Entry points: :func:`lint_circuit` (everything), :func:`lint_structural`
+(the cheap errors-only gate used by Procedure 2 and the experiment
+runner), and ``repro lint`` on the command line.  The companion
+*codebase* determinism linter lives in ``tools/detlint.py``.
+"""
+
+from repro.analysis.lint import (
+    CATALOG_SUPPRESSIONS,
+    lint_circuit,
+    lint_structural,
+    structural_rules,
+    testability_rules,
+)
+from repro.analysis.report import LintError, LintReport
+from repro.analysis.rules import (
+    AnalysisContext,
+    LintIssue,
+    LintOptions,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    register,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "CATALOG_SUPPRESSIONS",
+    "LintError",
+    "LintIssue",
+    "LintOptions",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_circuit",
+    "lint_structural",
+    "register",
+    "structural_rules",
+    "testability_rules",
+]

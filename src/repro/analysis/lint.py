@@ -1,0 +1,67 @@
+"""Linter entry points: run the rule registry against a circuit.
+
+:func:`lint_circuit` is the full two-phase lint (structural +
+testability); :func:`lint_structural` is the cheap errors-only subset
+used as a gate at the top of Procedure 2 and the experiment runner,
+where SCOAP and fault collapsing would be wasted work on the happy path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+# Importing the rule modules populates the registry.
+from repro.analysis import structural as _structural  # noqa: F401
+from repro.analysis import testability as _testability  # noqa: F401
+from repro.analysis.report import LintReport
+from repro.analysis.rules import AnalysisContext, LintOptions, Rule, all_rules
+from repro.circuit.netlist import Circuit
+
+#: Documented, expected findings on catalog circuits.  The synthetic
+#: generator occasionally leaves a benign stub (see docs/linting.md for
+#: the per-circuit rationale); everything listed here is WARNING-level
+#: noise, never an ERROR.  ``repro lint --all`` and the catalog lint
+#: test apply these automatically.
+CATALOG_SUPPRESSIONS: Dict[str, Tuple[str, ...]] = {
+    # s382's synthetic stand-in has one dangling gate output, which also
+    # shows up as an unobservable net (T002): the net exists but drives
+    # nothing, so its two stuck-at faults are trivially untestable.
+    "s382": ("S006", "T002"),
+}
+
+
+def structural_rules() -> list:
+    """The structural (``S###``) subset of the registry."""
+    return [r for r in all_rules() if r.rule_id.startswith("S")]
+
+
+def testability_rules() -> list:
+    """The testability (``T###``) subset of the registry."""
+    return [r for r in all_rules() if r.rule_id.startswith("T")]
+
+
+def lint_circuit(
+    circuit: Circuit,
+    options: Optional[LintOptions] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Run every registered rule (minus suppressions) on ``circuit``."""
+    options = options or LintOptions()
+    selected = all_rules() if rules is None else list(rules)
+    suppressed = tuple(sorted(set(options.suppress)))
+    ctx = AnalysisContext(circuit, options)
+    issues = []
+    for rule in selected:
+        if rule.rule_id in suppressed:
+            continue
+        issues.extend(rule.check(circuit, ctx))
+    return LintReport(
+        circuit_name=circuit.name, issues=issues, suppressed=suppressed
+    )
+
+
+def lint_structural(
+    circuit: Circuit, options: Optional[LintOptions] = None
+) -> LintReport:
+    """Structural rules only; cheap enough to gate every run."""
+    return lint_circuit(circuit, options=options, rules=structural_rules())

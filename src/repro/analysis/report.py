@@ -1,0 +1,88 @@
+"""Structured lint results: :class:`LintReport` and :class:`LintError`.
+
+A report is the full outcome of one lint run: every finding, the
+suppressions that were active, and renderers for both humans
+(:meth:`LintReport.render`) and machines (:meth:`LintReport.to_json`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.rules import LintIssue, Severity
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one circuit."""
+
+    circuit_name: str
+    issues: List[LintIssue] = field(default_factory=list)
+    suppressed: Tuple[str, ...] = ()
+
+    @property
+    def errors(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity is Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(i.severity is Severity.ERROR for i in self.issues)
+
+    def by_rule(self, rule_id: str) -> List[LintIssue]:
+        return [i for i in self.issues if i.rule_id == rule_id]
+
+    def fired_rules(self) -> List[str]:
+        """Rule IDs with at least one finding, in rule-ID order."""
+        return sorted({i.rule_id for i in self.issues})
+
+    def counts_line(self) -> str:
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s),"
+            f" {len(self.infos)} info"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit_name,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "suppressed": list(self.suppressed),
+            "issues": [i.to_dict() for i in self.issues],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable report, one line per finding."""
+        lines = [f"{self.circuit_name}: {self.counts_line()}"]
+        for issue in sorted(
+            self.issues, key=lambda i: (-int(i.severity), i.rule_id)
+        ):
+            lines.append(
+                f"  [{issue.rule_id}][{issue.severity.label}] {issue.message}"
+            )
+        if self.suppressed:
+            lines.append(f"  (suppressed: {', '.join(self.suppressed)})")
+        return "\n".join(lines)
+
+
+class LintError(ValueError):
+    """A lint gate configured to fail found ERROR-severity issues."""
+
+    def __init__(self, report: LintReport) -> None:
+        detail = "; ".join(i.message for i in report.errors)
+        super().__init__(
+            f"circuit {report.circuit_name} failed design-rule lint: {detail}"
+        )
+        self.report = report

@@ -1,0 +1,214 @@
+"""Rule registry and shared analysis context for the circuit linter.
+
+A lint rule is a small object with a stable ``rule_id`` (``S###`` for
+structural, ``T###`` for testability), a fixed :class:`Severity`, and a
+``check`` method producing :class:`LintIssue` findings.  Rules register
+themselves with the module-level registry via the :func:`register` class
+decorator; :func:`repro.analysis.lint.lint_circuit` runs every registered
+rule (minus suppressions) against a circuit.
+
+Expensive whole-circuit analyses (levelization, SCOAP, fault collapsing)
+are shared between rules through an :class:`AnalysisContext`, computed
+lazily and at most once per lint run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.circuit.levelize import (
+    CombinationalCycleError,
+    Levelization,
+    levelize,
+)
+from repro.circuit.netlist import Circuit
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering reflects how loudly a finding fails."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: a rule violation (or INFO metric) on a circuit."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    nets: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "nets": list(self.nets),
+        }
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Tuning knobs for the linter.
+
+    Attributes:
+        scoap_difficulty_threshold: a fault whose SCOAP detection
+            difficulty (activation + observation cost) meets this value
+            is reported as random-pattern resistant (rule T001).  The
+            default sits above every catalog circuit's hardest fault so
+            that only genuinely pathological inputs fire the rule.
+        max_named_nets: how many offending nets a finding names in its
+            message before truncating with an ellipsis.
+        suppress: rule IDs to skip entirely for this run.
+    """
+
+    scoap_difficulty_threshold: int = 512
+    max_named_nets: int = 5
+    suppress: Tuple[str, ...] = ()
+
+
+class AnalysisContext:
+    """Per-circuit analyses shared across rules, computed lazily.
+
+    Levelization and SCOAP degrade to ``None`` when the circuit is
+    structurally broken (combinational cycles, undriven nets): the
+    structural rules report the root cause and the testability rules
+    skip silently rather than crash on garbage.
+    """
+
+    _UNSET = object()
+
+    def __init__(self, circuit: Circuit, options: LintOptions) -> None:
+        self.circuit = circuit
+        self.options = options
+        self._levelization: object = self._UNSET
+        self._cycle_error: Optional[CombinationalCycleError] = None
+        self._scoap: object = self._UNSET
+        self._collapsed: object = self._UNSET
+        self._fanout_counts: Optional[Dict[str, int]] = None
+
+    @property
+    def levelization(self) -> Optional[Levelization]:
+        if self._levelization is self._UNSET:
+            try:
+                self._levelization = levelize(self.circuit)
+            except CombinationalCycleError as exc:
+                self._cycle_error = exc
+                self._levelization = None
+            except KeyError:
+                # Undriven net: reported by the structural rules.
+                self._levelization = None
+        return self._levelization  # type: ignore[return-value]
+
+    @property
+    def cycle_error(self) -> Optional[CombinationalCycleError]:
+        self.levelization  # force the attempt
+        return self._cycle_error
+
+    @property
+    def scoap(self):
+        """The circuit's :class:`ScoapResult`, or None if unlevelizable."""
+        if self._scoap is self._UNSET:
+            if self.levelization is None:
+                self._scoap = None
+            else:
+                from repro.atpg.scoap import compute_scoap
+
+                self._scoap = compute_scoap(self.circuit)
+        return self._scoap
+
+    @property
+    def collapsed_faults(self):
+        """Collapsed fault list, or None if the circuit is broken."""
+        if self._collapsed is self._UNSET:
+            if self.levelization is None:
+                self._collapsed = None
+            else:
+                from repro.faults.collapse import collapse_faults
+
+                self._collapsed = collapse_faults(self.circuit)
+        return self._collapsed
+
+    def fanout_counts(self) -> Dict[str, int]:
+        """Consumers per net (gate inputs and flop D pins; POs excluded)."""
+        if self._fanout_counts is None:
+            counts = {net: 0 for net in self.circuit.signals()}
+            for gate in self.circuit.iter_gates():
+                for src in gate.inputs:
+                    counts[src] = counts.get(src, 0) + 1
+            for flop in self.circuit.flops:
+                counts[flop.d] = counts.get(flop.d, 0) + 1
+            self._fanout_counts = counts
+        return self._fanout_counts
+
+    def name_nets(self, nets: Iterable[str]) -> str:
+        """Render a net list for a message, truncated per the options."""
+        nets = list(nets)
+        limit = self.options.max_named_nets
+        shown = ", ".join(nets[:limit])
+        if len(nets) > limit:
+            shown += f", ... ({len(nets) - limit} more)"
+        return shown
+
+
+class Rule:
+    """Base class (and de-facto protocol) for lint rules.
+
+    Subclasses set ``rule_id`` / ``severity`` / ``title`` and implement
+    :meth:`check`.  ``title`` is the short human name used in docs and
+    report headers; the per-finding detail lives in the issue message.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.WARNING
+    title: str = ""
+
+    def check(
+        self, circuit: Circuit, ctx: AnalysisContext
+    ) -> Iterable[LintIssue]:
+        raise NotImplementedError
+
+    def issue(self, message: str, nets: Iterable[str] = ()) -> LintIssue:
+        return LintIssue(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            nets=tuple(nets),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = cls()
+    if not rule.rule_id or not rule.title:
+        raise ValueError(f"rule {cls.__name__} must set rule_id and title")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in rule-ID order (stable across runs)."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None

@@ -1,0 +1,209 @@
+"""Structural design rules (``S###``): netlist well-formedness.
+
+These rules subsume the checks historically hard-coded in
+:mod:`repro.circuit.validate`; that module is now a thin wrapper over
+this registry.  ERROR-severity findings mean the simulators would crash
+or silently mis-simulate; WARNING-severity findings are legal netlists
+that waste fault-coverage effort (dead or unobservable logic).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Set
+
+from repro.analysis.rules import (
+    AnalysisContext,
+    LintIssue,
+    Rule,
+    Severity,
+    register,
+)
+from repro.circuit.netlist import Circuit
+
+
+def dangling_nets(circuit: Circuit) -> List[str]:
+    """Nets that drive nothing and are not primary outputs.
+
+    Single source of truth for "dangling" across the linter and
+    :func:`repro.circuit.validate.find_dangling`.  Order follows
+    ``circuit.signals()`` so reports are deterministic.
+    """
+    used = set(circuit.outputs)
+    for gate in circuit.iter_gates():
+        used.update(gate.inputs)
+    for flop in circuit.flops:
+        used.add(flop.d)
+    return [net for net in circuit.signals() if net not in used]
+
+
+def observable_cone(circuit: Circuit) -> Set[str]:
+    """Nets with a structural path to a primary output or scan-cell D.
+
+    Backward reachability over gate fan-ins starting from the
+    observation points of the full-scan model (POs and flop D nets).
+    """
+    frontier = list(circuit.outputs) + [f.d for f in circuit.flops]
+    reachable: Set[str] = set()
+    while frontier:
+        net = frontier.pop()
+        if net in reachable:
+            continue
+        reachable.add(net)
+        gate = circuit.gate_for(net)
+        if gate is not None:
+            frontier.extend(gate.inputs)
+    return reachable
+
+
+@register
+class CombinationalLoopRule(Rule):
+    rule_id = "S001"
+    severity = Severity.ERROR
+    title = "combinational-loop"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        # levelize() raises KeyError first on undriven nets; S002 owns
+        # that diagnosis, so only a genuine cycle is reported here.
+        if ctx.cycle_error is not None:
+            yield self.issue(
+                str(ctx.cycle_error), nets=sorted(ctx.cycle_error.members)
+            )
+
+
+@register
+class UndrivenNetRule(Rule):
+    rule_id = "S002"
+    severity = Severity.ERROR
+    title = "undriven-net"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        driven = set(circuit.signals())
+        for net in circuit.outputs:
+            if net not in driven:
+                yield self.issue(
+                    f"primary output {net} is undriven", nets=[net]
+                )
+        for gate in circuit.iter_gates():
+            for src in gate.inputs:
+                if src not in driven:
+                    yield self.issue(
+                        f"gate {gate.output} reads undriven net {src}",
+                        nets=[src],
+                    )
+        for flop in circuit.flops:
+            if flop.d not in driven:
+                yield self.issue(
+                    f"flop {flop.q} reads undriven net {flop.d}",
+                    nets=[flop.d],
+                )
+
+
+@register
+class MultiplyDrivenNetRule(Rule):
+    rule_id = "S003"
+    severity = Severity.ERROR
+    title = "multiply-driven-net"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        # Circuit.add_* enforces single drivers, but copies and direct
+        # attribute surgery (scan reordering, tests, future transforms)
+        # can bypass it; defence in depth keeps the invariant honest.
+        drivers: Dict[str, List[str]] = {}
+        for net in circuit.inputs:
+            drivers.setdefault(net, []).append("input")
+        for gate in circuit.iter_gates():
+            drivers.setdefault(gate.output, []).append("gate")
+        counts = Counter(f.q for f in circuit.flops)
+        for q, n in counts.items():
+            drivers.setdefault(q, []).extend(["flop"] * n)
+        for net, kinds in drivers.items():
+            if len(kinds) > 1:
+                yield self.issue(
+                    f"net {net} has multiple drivers ({' + '.join(kinds)})",
+                    nets=[net],
+                )
+
+
+@register
+class SelfLoopRule(Rule):
+    rule_id = "S004"
+    severity = Severity.ERROR
+    title = "self-loop"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        for gate in circuit.iter_gates():
+            if gate.output in gate.inputs:
+                yield self.issue(
+                    f"gate {gate.output} feeds its own input (self-loop)",
+                    nets=[gate.output],
+                )
+
+
+@register
+class NoObservablePointsRule(Rule):
+    rule_id = "S005"
+    severity = Severity.ERROR
+    title = "no-observable-points"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        if not circuit.outputs and not circuit.flops:
+            yield self.issue(
+                "circuit has no observable points (no POs, no flops)"
+            )
+
+
+@register
+class DanglingOutputRule(Rule):
+    rule_id = "S006"
+    severity = Severity.WARNING
+    title = "dangling-output"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        gates = {g.output for g in circuit.iter_gates()}
+        nets = [n for n in dangling_nets(circuit) if n in gates]
+        if nets:
+            yield self.issue(
+                f"{len(nets)} gate output(s) drive nothing and are not "
+                f"primary outputs: {ctx.name_nets(nets)}",
+                nets=nets,
+            )
+
+
+@register
+class DeadStateRule(Rule):
+    rule_id = "S007"
+    severity = Severity.WARNING
+    title = "dead-state"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        state = set(circuit.state_vars)
+        nets = [n for n in dangling_nets(circuit) if n in state]
+        if nets:
+            yield self.issue(
+                f"{len(nets)} flop output(s) drive no logic (DFF state is "
+                f"captured but never used): {ctx.name_nets(nets)}",
+                nets=nets,
+            )
+
+
+@register
+class DeadLogicRule(Rule):
+    rule_id = "S008"
+    severity = Severity.WARNING
+    title = "dead-logic"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        reachable = observable_cone(circuit)
+        direct = set(dangling_nets(circuit))  # S006/S007 report these
+        nets = [
+            g.output
+            for g in circuit.iter_gates()
+            if g.output not in reachable and g.output not in direct
+        ]
+        if nets:
+            yield self.issue(
+                f"{len(nets)} gate output(s) cannot reach any primary "
+                f"output or scan cell: {ctx.name_nets(nets)}",
+                nets=nets,
+            )

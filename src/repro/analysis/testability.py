@@ -1,0 +1,136 @@
+"""Testability rules (``T###``): SCOAP-based random-pattern health.
+
+The paper's premise is that random patterns miss random-pattern-resistant
+faults; SCOAP flags those statically, before any simulation cycle is
+spent.  All rules here skip silently when the circuit is structurally
+broken (the ``S###`` rules report the root cause first).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.rules import AnalysisContext, Rule, Severity, register
+from repro.circuit.netlist import Circuit
+
+
+@register
+class RandomPatternResistantRule(Rule):
+    rule_id = "T001"
+    severity = Severity.WARNING
+    title = "random-pattern-resistant"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        scoap = ctx.scoap
+        faults = ctx.collapsed_faults
+        if scoap is None or not faults:
+            return
+        from repro.atpg.scoap import INFINITY
+
+        threshold = ctx.options.scoap_difficulty_threshold
+        hard: List[Tuple[int, str]] = []
+        for fault in faults:
+            difficulty = scoap.fault_difficulty(fault)
+            if threshold <= difficulty < INFINITY:
+                hard.append((difficulty, f"{fault.site} s-a-{fault.value}"))
+        if hard:
+            hard.sort(reverse=True)
+            worst_cost, worst_name = hard[0]
+            yield self.issue(
+                f"{len(hard)} of {len(faults)} collapsed faults have SCOAP "
+                f"detection difficulty >= {threshold} (hardest: {worst_name}"
+                f", cost {worst_cost}); random patterns are unlikely to "
+                f"reach 100% coverage in useful time",
+                nets=[name.split(" ")[0] for _, name in hard],
+            )
+
+
+@register
+class UntestableNetRule(Rule):
+    rule_id = "T002"
+    severity = Severity.WARNING
+    title = "untestable-net"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        scoap = ctx.scoap
+        if scoap is None:
+            return
+        from repro.atpg.scoap import INFINITY
+
+        uncontrollable = [
+            net
+            for net in circuit.signals()
+            if scoap.cc0[net] >= INFINITY or scoap.cc1[net] >= INFINITY
+        ]
+        unobservable = [
+            net for net in circuit.signals() if scoap.co[net] >= INFINITY
+        ]
+        if uncontrollable:
+            yield self.issue(
+                f"{len(uncontrollable)} net(s) cannot be driven to both "
+                f"values (stuck-at faults there are untestable): "
+                f"{ctx.name_nets(uncontrollable)}",
+                nets=uncontrollable,
+            )
+        if unobservable:
+            yield self.issue(
+                f"{len(unobservable)} net(s) are unobservable at every PO "
+                f"and scan cell: {ctx.name_nets(unobservable)}",
+                nets=unobservable,
+            )
+
+
+@register
+class UnobservableScanPositionRule(Rule):
+    rule_id = "T003"
+    severity = Severity.WARNING
+    title = "unobservable-scan-position"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        scoap = ctx.scoap
+        if scoap is None or not circuit.flops:
+            return
+        from repro.atpg.scoap import INFINITY
+
+        n_sv = circuit.num_state_vars
+        for position, flop in enumerate(circuit.flops):
+            if scoap.co[flop.q] >= INFINITY:
+                yield self.issue(
+                    f"scan position {position} of {n_sv} (flop {flop.q}): "
+                    f"state never propagates to an observable point, so "
+                    f"limited-scan tests cannot use it",
+                    nets=[flop.q],
+                )
+
+
+@register
+class FanoutProfileRule(Rule):
+    rule_id = "T004"
+    severity = Severity.INFO
+    title = "fanout-profile"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        counts = ctx.fanout_counts()
+        if not counts:
+            return
+        # Fanout-free nets form cones PODEM backtraces without conflicts;
+        # a high fraction means random patterns behave predictably.
+        total = len(counts)
+        fanout_free = sum(1 for n in counts.values() if n <= 1)
+        max_net = max(counts, key=lambda net: counts[net])
+        unused_inputs = [
+            net
+            for net in circuit.inputs
+            if counts.get(net, 0) == 0 and net not in circuit.outputs
+        ]
+        message = (
+            f"fanout profile: {fanout_free}/{total} nets fanout-free "
+            f"({fanout_free / total:.0%}), max fanout {counts[max_net]} "
+            f"at {max_net}"
+        )
+        if unused_inputs:
+            message += (
+                f"; {len(unused_inputs)} unused primary input(s): "
+                f"{ctx.name_nets(unused_inputs)}"
+            )
+        yield self.issue(message, nets=unused_inputs)

@@ -1,15 +1,20 @@
 """Structural validation of circuits.
 
 The simulators and the fault model assume a well-formed netlist.  This
-module centralizes the checks so that malformed circuits fail loudly at
-load time instead of producing wrong coverage numbers later.
+module is the stable, low-level API (:class:`CircuitError` and friends);
+since the linter grew out of these checks, the actual rules live in the
+:mod:`repro.analysis` registry and this module is a thin wrapper so
+there is a single source of truth for structural issues.
+
+Imports of :mod:`repro.analysis` are deferred to call time: ``analysis``
+sits above ``circuit`` in the layering, and the lazy import keeps this
+module importable from anywhere in the package without cycles.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.circuit.levelize import CombinationalCycleError, levelize
 from repro.circuit.netlist import Circuit
 
 
@@ -23,40 +28,16 @@ class CircuitError(ValueError):
 
 
 def find_issues(circuit: Circuit) -> List[str]:
-    """Return a list of human-readable structural problems (empty if OK)."""
-    issues: List[str] = []
-    driven = set(circuit.signals())
+    """Return a list of human-readable structural problems (empty if OK).
 
-    for net in circuit.outputs:
-        if net not in driven:
-            issues.append(f"primary output {net} is undriven")
-    for gate in circuit.iter_gates():
-        for src in gate.inputs:
-            if src not in driven:
-                issues.append(f"gate {gate.output} reads undriven net {src}")
-    for flop in circuit.flops:
-        if flop.d not in driven:
-            issues.append(f"flop {flop.q} reads undriven net {flop.d}")
+    Equivalent to the ERROR-severity findings of
+    :func:`repro.analysis.lint_structural`; warnings (dangling nets,
+    dead logic) are legal in benchmark files and reported only by the
+    full linter.
+    """
+    from repro.analysis import lint_structural
 
-    seen_q = set()
-    for flop in circuit.flops:
-        if flop.q in seen_q:
-            issues.append(f"duplicate flop output {flop.q}")
-        seen_q.add(flop.q)
-
-    if not circuit.outputs and not circuit.flops:
-        issues.append("circuit has no observable points (no POs, no flops)")
-
-    if not issues:
-        try:
-            levelize(circuit)
-        except CombinationalCycleError as exc:
-            issues.append(str(exc))
-
-    # Dangling nets are legal in benchmark files but worth flagging for
-    # synthetic generation; they reduce observability.  Reported only via
-    # find_dangling(), not as hard errors.
-    return issues
+    return [issue.message for issue in lint_structural(circuit).errors]
 
 
 def find_dangling(circuit: Circuit) -> List[str]:
@@ -65,12 +46,9 @@ def find_dangling(circuit: Circuit) -> List[str]:
     Faults on such nets are trivially undetectable; the synthetic circuit
     generator uses this to clean up its output.
     """
-    used = set(circuit.outputs)
-    for gate in circuit.iter_gates():
-        used.update(gate.inputs)
-    for flop in circuit.flops:
-        used.add(flop.d)
-    return [net for net in circuit.signals() if net not in used]
+    from repro.analysis.structural import dangling_nets
+
+    return dangling_nets(circuit)
 
 
 def validate_circuit(circuit: Circuit) -> None:

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro stats s208
     python -m repro faults s208
+    python -m repro lint s208 [--json] [--strict]
     python -m repro run s208 --la 8 --lb 16 --n 64
     python -m repro first-complete s208
     python -m repro table 6 [--full]
@@ -76,6 +77,45 @@ def cmd_faults(args: argparse.Namespace) -> int:
     cls = classify_faults(circuit, faults=collapsed)
     print(f"classification: {cls.summary()}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import CATALOG_SUPPRESSIONS, LintOptions, lint_circuit
+
+    if args.all:
+        targets = [(name, load_circuit(name)) for name in available_circuits()]
+    elif args.circuit:
+        targets = [(args.circuit, resolve_circuit(args.circuit))]
+    else:
+        print("lint: give a circuit or --all", file=sys.stderr)
+        return 2
+
+    suppress = tuple(s for s in args.suppress.split(",") if s)
+    exit_code = 0
+    payload = []
+    for name, circuit in targets:
+        per_circuit = suppress
+        if args.all:
+            # Documented expected findings on catalog stand-ins.
+            per_circuit = suppress + CATALOG_SUPPRESSIONS.get(name, ())
+        options = LintOptions(suppress=per_circuit)
+        if args.scoap_threshold is not None:
+            options = LintOptions(
+                scoap_difficulty_threshold=args.scoap_threshold,
+                suppress=per_circuit,
+            )
+        report = lint_circuit(circuit, options)
+        if args.json:
+            payload.append(report.to_dict())
+        else:
+            print(report.render())
+        if report.has_errors or (args.strict and report.warnings):
+            exit_code = 1
+    if args.json:
+        print(json.dumps(payload if args.all else payload[0], indent=2))
+    return exit_code
 
 
 def _config_from_args(args: argparse.Namespace) -> BistConfig:
@@ -166,6 +206,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("faults", help="fault counts and classification")
     p.add_argument("circuit")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("lint", help="design-rule & testability lint")
+    p.add_argument("circuit", nargs="?",
+                   help="catalog name or netlist path (or use --all)")
+    p.add_argument("--all", action="store_true",
+                   help="lint every catalog circuit (with its documented "
+                        "suppressions)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured report as JSON")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too, not just errors")
+    p.add_argument("--suppress", default="",
+                   help="comma-separated rule IDs to skip (e.g. S006,T002)")
+    p.add_argument("--scoap-threshold", type=int, default=None,
+                   help="T001 random-pattern-resistance difficulty cutoff")
+    p.set_defaults(func=cmd_lint)
 
     def add_bist_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("circuit")

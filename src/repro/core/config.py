@@ -41,6 +41,12 @@ class BistConfig:
             -1 = all cores).  Purely an execution knob: it shards the
             fault list across processes and never changes any result,
             so it is excluded from serialized configurations.
+        lint: what Procedure 2 does about structural lint errors in the
+            circuit before simulating: ``'warn'`` (default) emits a
+            ``RuntimeWarning``, ``'error'`` raises
+            :class:`repro.analysis.LintError`, ``'off'`` skips the
+            check.  Like ``n_jobs`` it never changes results on valid
+            circuits and is excluded from serialized configurations.
     """
 
     la: int = 8
@@ -54,6 +60,7 @@ class BistConfig:
     reseed_per_test: bool = True
     rng_kind: str = "numpy"
     n_jobs: int = 1
+    lint: str = "warn"
 
     def __post_init__(self) -> None:
         if self.la < 1 or self.lb < 1:
@@ -72,6 +79,8 @@ class BistConfig:
             raise ValueError("D2 must be positive")
         if self.n_jobs < 1 and self.n_jobs != -1:
             raise ValueError("n_jobs must be >= 1, or -1 for all cores")
+        if self.lint not in ("off", "warn", "error"):
+            raise ValueError("lint must be 'off', 'warn', or 'error'")
 
     def with_lengths(self, la: int, lb: int, n: int) -> "BistConfig":
         """A copy with different ``(L_A, L_B, N)`` (everything else kept)."""
@@ -87,6 +96,7 @@ class BistConfig:
             reseed_per_test=self.reseed_per_test,
             rng_kind=self.rng_kind,
             n_jobs=self.n_jobs,
+            lint=self.lint,
         )
 
     def effective_d2(self, n_sv: int) -> int:

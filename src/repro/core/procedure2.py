@@ -10,6 +10,7 @@ without improvement (plus a hard ``max_iterations`` safety cap).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -127,7 +128,25 @@ def run_procedure2(
     worker processes for every fault-simulation call; one pool lives for
     the whole run so workers keep their compiled model across iterations.
     Results are identical to the serial run for any ``n_jobs``.
+
+    Per ``config.lint``, the circuit is design-rule checked before any
+    simulation cycle is spent: a malformed netlist either raises
+    :class:`repro.analysis.LintError` (``'error'``) or emits a
+    ``RuntimeWarning`` and proceeds at your own risk (``'warn'``).
     """
+    if config.lint != "off":
+        from repro.analysis import LintError, lint_structural
+
+        lint_report = lint_structural(circuit)
+        if lint_report.has_errors:
+            if config.lint == "error":
+                raise LintError(lint_report)
+            warnings.warn(
+                f"circuit {circuit.name} has structural lint errors: "
+                + "; ".join(i.message for i in lint_report.errors),
+                RuntimeWarning,
+                stacklevel=2,
+            )
     simulator = simulator or FaultSimulator(circuit)
     jobs = resolve_n_jobs(config.n_jobs if n_jobs is None else n_jobs)
     sim = simulator.sharded(jobs) if jobs > 1 else simulator

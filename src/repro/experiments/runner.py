@@ -8,6 +8,10 @@ Usage::
 hours); the default finishes in a few minutes on a laptop.  ``--jobs N``
 shards fault simulation across ``N`` worker processes (``-1`` = all
 cores); every reported number is identical for any value.
+
+Every batch starts with a design-rule lint preflight over the circuits
+it will simulate (see :mod:`repro.analysis`); a circuit with structural
+errors aborts the run before any simulation time is spent.
 """
 
 from __future__ import annotations
@@ -22,17 +26,41 @@ from repro.experiments.common import set_default_n_jobs
 from repro.experiments.report import canonical_result_name, format_table
 
 
+def lint_preflight(circuit_names: Sequence[str]) -> str:
+    """Design-rule gate over the circuits an experiment batch will use.
+
+    Malformed or pathological inputs are rejected here, before any
+    hours-long fault-simulation run: raises
+    :class:`repro.analysis.LintError` on the first circuit with
+    ERROR-severity findings.  Returns a per-circuit summary otherwise.
+    """
+    from repro.analysis import CATALOG_SUPPRESSIONS, LintError, LintOptions, lint_circuit
+    from repro.bench_circuits import load_circuit
+
+    lines = []
+    for name in circuit_names:
+        options = LintOptions(suppress=CATALOG_SUPPRESSIONS.get(name, ()))
+        report = lint_circuit(load_circuit(name), options)
+        if report.has_errors:
+            raise LintError(report)
+        status = "warn" if report.warnings else "ok"
+        lines.append(f"{name:<8} {status:<5} {report.counts_line()}")
+    return "\n".join(lines)
+
+
 def _run_all(full: bool, out_dir: Path) -> List[Tuple[str, str]]:
     sections: List[Tuple[str, str]] = []
 
     def add(name: str, fn: Callable[[], str]) -> None:
-        t0 = time.time()
+        # perf_counter: monotonic, immune to wall-clock adjustments.
+        t0 = time.perf_counter()
         try:
             text = fn()
         except Exception as exc:  # experiments must not kill the batch
             text = f"FAILED: {exc!r}"
-        sections.append((name, text + f"\n[{time.time() - t0:.1f}s]"))
-        print(f"=== {name} ({time.time() - t0:.1f}s)")
+        elapsed = time.perf_counter() - t0
+        sections.append((name, text + f"\n[{elapsed:.1f}s]"))
+        print(f"=== {name} ({elapsed:.1f}s)")
 
     add("table1", lambda: table1.run().render())
     add("table3", lambda: table3.run(full=full).render())
@@ -102,6 +130,9 @@ def main(argv: Sequence[str] = ()) -> None:
     if "--jobs" in argv:
         set_default_n_jobs(int(argv[argv.index("--jobs") + 1]))
     out_dir.mkdir(parents=True, exist_ok=True)
+    circuits = table6.PAPER_CIRCUITS if full else table6.DEFAULT_CIRCUITS
+    print("=== lint preflight")
+    print(lint_preflight(circuits))
     sections = _run_all(full, out_dir)
     for name, text in sections:
         (out_dir / f"{canonical_result_name(name)}.txt").write_text(text + "\n")

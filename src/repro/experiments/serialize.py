@@ -38,9 +38,9 @@ def fault_from_dict(data: Dict[str, Any]) -> Fault:
 
 
 def config_to_dict(config: BistConfig) -> Dict[str, Any]:
-    # n_jobs is intentionally omitted: it is an execution knob that never
-    # changes results, so serialized outputs are byte-identical across
-    # serial and parallel runs.
+    # n_jobs and lint are intentionally omitted: they are execution knobs
+    # that never change results on valid circuits, so serialized outputs
+    # are byte-identical across serial/parallel and lint-mode runs.
     return {
         "la": config.la,
         "lb": config.lb,

@@ -1,0 +1,331 @@
+"""Tests for the design-rule & testability linter (repro.analysis)."""
+
+import contextlib
+import json
+import warnings
+
+import pytest
+
+from repro.analysis import (
+    CATALOG_SUPPRESSIONS,
+    LintError,
+    LintOptions,
+    Severity,
+    all_rules,
+    get_rule,
+    lint_circuit,
+    lint_structural,
+    structural_rules,
+)
+# Aliased import: the bare name matches pytest's test* collection pattern.
+from repro.analysis import testability_rules as _testability_rules
+from repro.bench_circuits import available_circuits, load_circuit
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit, Flop
+from repro.circuit.validate import find_issues
+from repro.core.config import BistConfig
+from repro.core.procedure2 import run_procedure2
+
+
+def _scoap_hard_circuit() -> Circuit:
+    """Self-composed AND tree: cc1 doubles per level, so a handful of
+    gates exceeds any realistic difficulty threshold."""
+    c = Circuit("hard")
+    for i in range(64):
+        c.add_input(f"p{i}")
+    c.add_gate("g1", GateType.AND, [f"p{i}" for i in range(64)])
+    c.add_gate("g2", GateType.AND, ["g1", "g1"])
+    c.add_gate("g3", GateType.AND, ["g2", "g2"])
+    c.add_gate("g4", GateType.AND, ["g3", "g3"])
+    c.add_output("g4")
+    return c
+
+
+class TestRegistry:
+    def test_rule_ids_are_stable(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        # The documented rule set; additions are fine, renames are not.
+        assert {"S001", "S002", "S003", "S004", "S005", "S006", "S007",
+                "S008", "T001", "T002", "T003", "T004"} <= set(ids)
+
+    def test_partition_by_prefix(self):
+        assert all(r.rule_id.startswith("S") for r in structural_rules())
+        assert all(r.rule_id.startswith("T") for r in _testability_rules())
+        total = len(structural_rules()) + len(_testability_rules())
+        assert total == len(all_rules())
+
+    def test_structural_rules_are_the_error_layer(self):
+        for rule in structural_rules():
+            assert rule.severity in (Severity.ERROR, Severity.WARNING)
+        for rule in _testability_rules():
+            assert rule.severity in (Severity.WARNING, Severity.INFO)
+
+    def test_get_rule(self):
+        assert get_rule("S001").title == "combinational-loop"
+        with pytest.raises(KeyError):
+            get_rule("S999")
+
+
+class TestStructuralRules:
+    def test_clean_circuit(self, s27):
+        report = lint_circuit(s27)
+        assert not report.has_errors
+        assert not report.warnings
+
+    def test_self_loop_gate(self):
+        c = Circuit("loopy")
+        c.add_input("a")
+        c.add_output("x")
+        c.add_gate("x", GateType.AND, ["a", "x"])
+        report = lint_circuit(c)
+        assert "S004" in report.fired_rules()  # the specific diagnosis
+        assert "S001" in report.fired_rules()  # ... and the general one
+        assert report.has_errors
+
+    def test_net_driven_by_gate_and_flop(self):
+        # Circuit.add_* forbids this, so forge it the way a buggy
+        # transform would: by direct attribute surgery.
+        c = Circuit("double")
+        c.add_input("a")
+        c.add_output("x")
+        c.add_gate("x", GateType.BUF, ["a"])
+        flop = Flop(q="x", d="a")
+        c._flops.append(flop)
+        c._flop_by_q["x"] = flop
+        report = lint_circuit(c)
+        issues = report.by_rule("S003")
+        assert len(issues) == 1
+        assert "gate" in issues[0].message and "flop" in issues[0].message
+        assert report.has_errors
+
+    def test_zero_flop_circuit_lints(self):
+        c = Circuit("comb")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_output("y")
+        c.add_gate("y", GateType.AND, ["a", "b"])
+        report = lint_circuit(c)
+        assert not report.has_errors
+        assert not report.by_rule("T003")  # no scan positions to check
+
+    def test_undriven_nets(self):
+        c = Circuit("broken")
+        c.add_input("a")
+        c.add_output("nowhere")
+        c.add_gate("x", GateType.AND, ["a", "ghost"])
+        report = lint_circuit(c)
+        messages = [i.message for i in report.by_rule("S002")]
+        assert any("nowhere" in m for m in messages)
+        assert any("ghost" in m for m in messages)
+
+    def test_dangling_and_dead_logic(self):
+        c = Circuit("dead")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("y", GateType.NOT, ["a"])
+        c.add_gate("feeder", GateType.BUF, ["a"])   # feeds only "sink"
+        c.add_gate("sink", GateType.NOT, ["feeder"])  # drives nothing
+        report = lint_circuit(c)
+        assert [i.nets for i in report.by_rule("S006")] == [("sink",)]
+        assert [i.nets for i in report.by_rule("S008")] == [("feeder",)]
+
+    def test_dead_state_flop(self):
+        c = Circuit("deadstate")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("y", GateType.NOT, ["a"])
+        c.add_flop("q_unused", "a")
+        report = lint_circuit(c)
+        assert [i.nets for i in report.by_rule("S007")] == [("q_unused",)]
+        assert not report.has_errors  # dead state is a warning, not an error
+
+    def test_no_observable_points(self):
+        c = Circuit("blind")
+        c.add_input("a")
+        c.add_gate("x", GateType.NOT, ["a"])
+        report = lint_structural(c)
+        assert "S005" in report.fired_rules()
+
+
+class TestTestabilityRules:
+    def test_scoap_hard_circuit_fires_t001(self):
+        report = lint_circuit(_scoap_hard_circuit())
+        issues = report.by_rule("T001")
+        assert len(issues) == 1
+        assert "difficulty >= 512" in issues[0].message
+        assert not report.has_errors  # resistance is a warning
+
+    def test_t001_threshold_is_configurable(self):
+        options = LintOptions(scoap_difficulty_threshold=10**6)
+        report = lint_circuit(_scoap_hard_circuit(), options)
+        assert not report.by_rule("T001")
+
+    def test_const_gate_fires_untestable_net(self):
+        c = Circuit("constant")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("z", GateType.CONST0, [])
+        c.add_gate("y", GateType.OR, ["a", "z"])
+        report = lint_circuit(c)
+        uncontrollable = report.by_rule("T002")
+        assert uncontrollable and "z" in uncontrollable[0].nets
+
+    def test_unobservable_scan_position(self):
+        # The flop's state feeds a gate whose output dangles: position
+        # exists in the chain but never reaches an observable point.
+        c = Circuit("blindscan")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("y", GateType.NOT, ["a"])
+        c.add_flop("q", "a")
+        c.add_gate("waste", GateType.NOT, ["q"])
+        report = lint_circuit(c)
+        issues = report.by_rule("T003")
+        assert issues and issues[0].nets == ("q",)
+        assert "scan position 0" in issues[0].message
+
+    def test_testability_skips_broken_circuits(self):
+        c = Circuit("cyclic")
+        c.add_input("a")
+        c.add_output("x")
+        c.add_gate("x", GateType.AND, ["a", "y"])
+        c.add_gate("y", GateType.AND, ["a", "x"])
+        report = lint_circuit(c)
+        assert report.has_errors
+        assert not report.by_rule("T001") and not report.by_rule("T002")
+
+    def test_fanout_profile_info(self, s27):
+        issues = lint_circuit(s27).by_rule("T004")
+        assert len(issues) == 1
+        assert issues[0].severity is Severity.INFO
+        assert "fanout" in issues[0].message
+
+
+class TestReport:
+    def test_json_round_trip(self, s27):
+        data = json.loads(lint_circuit(s27).to_json())
+        assert data["circuit"] == "s27"
+        assert data["errors"] == 0
+        assert all({"rule", "severity", "message", "nets"} <= set(i)
+                   for i in data["issues"])
+
+    def test_render_contains_rule_ids(self):
+        c = Circuit("broken")
+        c.add_input("a")
+        c.add_output("nowhere")
+        text = lint_circuit(c).render()
+        assert "[S002]" in text and "[error]" in text
+
+    def test_suppression(self):
+        c = Circuit("dangles")
+        c.add_input("a")
+        c.add_output("y")
+        c.add_gate("y", GateType.NOT, ["a"])
+        c.add_gate("unused", GateType.BUF, ["a"])
+        report = lint_circuit(c, LintOptions(suppress=("S006", "S008")))
+        assert not report.by_rule("S006")
+        assert report.suppressed == ("S006", "S008")
+
+    def test_lint_error_carries_report(self):
+        c = Circuit("broken")
+        c.add_input("a")
+        c.add_output("nowhere")
+        report = lint_structural(c)
+        err = LintError(report)
+        assert err.report is report
+        assert "nowhere" in str(err)
+
+
+class TestValidateWrapper:
+    def test_find_issues_equals_lint_errors(self):
+        c = Circuit("broken")
+        c.add_input("a")
+        c.add_output("nowhere")
+        c.add_gate("x", GateType.AND, ["a", "ghost"])
+        assert find_issues(c) == [
+            i.message for i in lint_structural(c).errors
+        ]
+
+
+class TestProcedure2Gate:
+    def _broken(self) -> Circuit:
+        c = Circuit("broken")
+        c.add_input("a")
+        c.add_output("nowhere")
+        c.add_flop("q", "a")
+        return c
+
+    def test_error_mode_raises(self):
+        cfg = BistConfig(la=2, lb=4, n=2, lint="error")
+        with pytest.raises(LintError):
+            run_procedure2(self._broken(), cfg, [])
+
+    def test_warn_mode_warns(self):
+        cfg = BistConfig(la=2, lb=4, n=2, lint="warn")
+        with pytest.warns(RuntimeWarning, match="structural lint errors"):
+            with contextlib.suppress(Exception):
+                run_procedure2(self._broken(), cfg, [])
+
+    def test_off_mode_is_silent(self):
+        cfg = BistConfig(la=2, lb=4, n=2, lint="off")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with contextlib.suppress(Exception):
+                run_procedure2(self._broken(), cfg, [])
+        assert not [w for w in caught if w.category is RuntimeWarning]
+
+    def test_clean_circuit_unaffected(self, s27):
+        cfg = BistConfig(la=2, lb=4, n=2, lint="error")
+        result = run_procedure2(s27, cfg, [])
+        assert result.complete  # no targets -> trivially complete
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BistConfig(lint="loud")
+
+    def test_with_lengths_keeps_lint(self):
+        cfg = BistConfig(lint="error").with_lengths(4, 8, 16)
+        assert cfg.lint == "error"
+
+
+class TestRunnerPreflight:
+    def test_clean_batch_summarized(self):
+        from repro.experiments.runner import lint_preflight
+
+        text = lint_preflight(["s27"])
+        assert "s27" in text and "ok" in text
+
+    def test_broken_circuit_aborts(self, monkeypatch):
+        import repro.bench_circuits as bench_circuits
+        from repro.experiments.runner import lint_preflight
+
+        broken = Circuit("bad")
+        broken.add_input("a")
+        broken.add_output("nowhere")
+        monkeypatch.setattr(
+            bench_circuits, "load_circuit", lambda name: broken
+        )
+        with pytest.raises(LintError):
+            lint_preflight(["bad"])
+
+
+class TestCatalog:
+    def test_small_circuits_clean_or_suppressed(self):
+        for name in available_circuits(tier="small"):
+            self._assert_clean(name)
+
+    @pytest.mark.slow
+    def test_all_catalog_circuits_clean_or_suppressed(self):
+        for name in available_circuits():
+            self._assert_clean(name)
+
+    @staticmethod
+    def _assert_clean(name: str) -> None:
+        options = LintOptions(suppress=CATALOG_SUPPRESSIONS.get(name, ()))
+        report = lint_circuit(load_circuit(name), options)
+        assert not report.has_errors, f"{name}: {report.render()}"
+        assert not report.warnings, (
+            f"{name} has undocumented warnings: {report.render()}"
+        )

@@ -47,6 +47,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "collapsed: 32" in out
 
+    def test_lint_clean_circuit(self, capsys):
+        assert main(["lint", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_lint_json(self, capsys):
+        import json
+
+        assert main(["lint", "s27", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["circuit"] == "s27" and data["errors"] == 0
+
+    def test_lint_broken_bench_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.bench"
+        path.write_text(
+            "INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n"
+        )
+        assert main(["lint", str(path)]) == 1
+        assert "ghost" in capsys.readouterr().out
+
+    def test_lint_strict_fails_on_warnings(self, tmp_path, capsys):
+        path = tmp_path / "dangles.bench"
+        path.write_text(
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nunused = BUFF(a)\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--strict"]) == 1
+        assert main(["lint", str(path), "--strict",
+                     "--suppress", "S006,T002"]) == 0
+
+    def test_lint_without_target(self, capsys):
+        assert main(["lint"]) == 2
+
     def test_run(self, capsys):
         code = main(["run", "s27", "--la", "4", "--lb", "8", "--n", "8"])
         out = capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Tests for the AST determinism linter (tools/detlint.py)."""
+
+from pathlib import Path
+
+import pytest
+
+from tools.detlint import is_critical_path, main, scan_file, scan_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _scan_source(tmp_path, source, name="snippet.py", critical=False):
+    directory = tmp_path / "core" if critical else tmp_path
+    directory.mkdir(exist_ok=True)
+    path = directory / name
+    path.write_text(source)
+    return scan_file(path)
+
+
+class TestUnseededRng:
+    def test_unseeded_random_flagged(self, tmp_path):
+        findings = _scan_source(tmp_path, "import random\nr = random.Random()\n")
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_seeded_random_ok(self, tmp_path):
+        assert not _scan_source(tmp_path, "import random\nr = random.Random(7)\n")
+
+    def test_global_random_functions_flagged(self, tmp_path):
+        findings = _scan_source(
+            tmp_path, "import random\nx = random.randint(0, 4)\nrandom.seed(1)\n"
+        )
+        assert [f.rule for f in findings] == ["DET001", "DET001"]
+
+    def test_numpy_global_state_flagged(self, tmp_path):
+        findings = _scan_source(
+            tmp_path,
+            "import numpy as np\nnp.random.seed(3)\nx = np.random.rand(4)\n",
+        )
+        assert [f.rule for f in findings] == ["DET001", "DET001"]
+
+    def test_seeded_generator_ok(self, tmp_path):
+        assert not _scan_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.Generator(np.random.PCG64(42))\n",
+        )
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings = _scan_source(
+            tmp_path,
+            "from numpy.random import default_rng\ng = default_rng()\n",
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_from_import_alias_tracked(self, tmp_path):
+        findings = _scan_source(
+            tmp_path, "from random import Random as R\nr = R()\n"
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_critical_path(self, tmp_path):
+        findings = _scan_source(
+            tmp_path, "import time\nt = time.time()\n", critical=True
+        )
+        assert [f.rule for f in findings] == ["DET002"]
+
+    def test_time_time_allowed_elsewhere(self, tmp_path):
+        assert not _scan_source(tmp_path, "import time\nt = time.time()\n")
+
+    def test_perf_counter_always_ok(self, tmp_path):
+        assert not _scan_source(
+            tmp_path, "import time\nt = time.perf_counter()\n", critical=True
+        )
+
+    def test_critical_path_detection(self):
+        assert is_critical_path(Path("src/repro/core/config.py"))
+        assert is_critical_path(Path("src/repro/faults/fault_sim.py"))
+        assert is_critical_path(Path("src/repro/simulation/scan.py"))
+        assert not is_critical_path(Path("src/repro/experiments/runner.py"))
+
+
+class TestSetIteration:
+    def test_for_over_set_flagged(self, tmp_path):
+        findings = _scan_source(tmp_path, "for v in {1, 2}:\n    print(v)\n")
+        assert [f.rule for f in findings] == ["DET003"]
+
+    def test_list_of_set_flagged(self, tmp_path):
+        findings = _scan_source(tmp_path, "xs = list(set([2, 1]))\n")
+        assert [f.rule for f in findings] == ["DET003"]
+
+    def test_join_of_set_flagged(self, tmp_path):
+        findings = _scan_source(tmp_path, "s = ', '.join({'b', 'a'})\n")
+        assert [f.rule for f in findings] == ["DET003"]
+
+    def test_comprehension_over_set_flagged(self, tmp_path):
+        findings = _scan_source(tmp_path, "xs = [v for v in {1, 2}]\n")
+        assert [f.rule for f in findings] == ["DET003"]
+
+    def test_sorted_set_ok(self, tmp_path):
+        assert not _scan_source(tmp_path, "xs = sorted({2, 1})\n")
+
+    def test_membership_and_set_building_ok(self, tmp_path):
+        assert not _scan_source(
+            tmp_path,
+            "seen = set()\nif 3 in {1, 2, 3}:\n    seen.add(3)\n",
+        )
+
+
+class TestSuppression:
+    def test_inline_ignore_specific_rule(self, tmp_path):
+        findings = _scan_source(
+            tmp_path,
+            "import time\nt = time.time()  # detlint: ignore[DET002]\n",
+            critical=True,
+        )
+        assert not findings
+
+    def test_inline_ignore_all_rules(self, tmp_path):
+        findings = _scan_source(
+            tmp_path, "xs = list({1, 2})  # detlint: ignore\n"
+        )
+        assert not findings
+
+    def test_ignore_for_other_rule_does_not_apply(self, tmp_path):
+        findings = _scan_source(
+            tmp_path,
+            "import time\nt = time.time()  # detlint: ignore[DET001]\n",
+            critical=True,
+        )
+        assert [f.rule for f in findings] == ["DET002"]
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path):
+        bad = tmp_path / "core"
+        bad.mkdir()
+        (bad / "x.py").write_text("import time\nt = time.time()\n")
+        assert main([str(tmp_path)]) == 1
+        (bad / "x.py").write_text("import time\nt = time.perf_counter()\n")
+        assert main([str(tmp_path)]) == 0
+
+    def test_missing_path(self):
+        assert main(["no/such/dir"]) == 2
+
+    def test_syntax_error_reported(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        findings = scan_paths([tmp_path])
+        assert [f.rule for f in findings] == ["DET000"]
+
+    def test_repo_sources_are_clean(self):
+        assert scan_paths([REPO_ROOT / "src", REPO_ROOT / "tools"]) == []

@@ -1,0 +1,1 @@
+"""Repository tooling that is not part of the installed package."""

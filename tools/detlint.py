@@ -1,0 +1,319 @@
+"""AST determinism lint for the reproduction codebase.
+
+Every reported number in this repository must be reproducible from a
+:class:`BistConfig` alone; nondeterminism sneaks in through three doors,
+each covered by a rule:
+
+- ``DET001`` **unseeded-rng** -- ``random.Random()`` / numpy bit
+  generators constructed without a seed, and any use of the *global*
+  RNG state (``random.random()``, ``np.random.seed()``,
+  ``np.random.rand()``, ...).  Explicitly seeded generators
+  (``np.random.Generator(np.random.PCG64(seed))``) are fine.
+- ``DET002`` **wall-clock** -- ``time.time()`` / ``time.clock()``
+  inside the reproducibility-critical packages (``core/``, ``faults/``,
+  ``simulation/``).  Use ``time.perf_counter()`` for section timing;
+  timing in ``experiments/`` (e.g. ``runner.py``) is allowlisted
+  because those paths never feed results.
+- ``DET003`` **set-iteration** -- iterating a set (or feeding one to
+  ``list``/``tuple``/``enumerate``/``str.join``) where the element
+  order leaks into output; wrap in ``sorted(...)`` instead.
+
+Usage::
+
+    python -m tools.detlint src/            # exit 1 on any finding
+    python -m tools.detlint src tools tests
+
+Suppress a single line with a trailing comment::
+
+    t = time.time()  # detlint: ignore[DET002]
+    x = frob()       # detlint: ignore          (all rules)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Path components whose files must be free of wall-clock reads.
+CRITICAL_PARTS = {"core", "faults", "simulation"}
+
+#: Module-level functions of stdlib ``random`` that use the hidden
+#: global generator.
+GLOBAL_RANDOM_FUNCS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+#: Legacy ``numpy.random`` module-level functions (global RandomState).
+GLOBAL_NUMPY_FUNCS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "gumbel", "hypergeometric",
+    "laplace", "logistic", "lognormal", "logseries", "multinomial",
+    "multivariate_normal", "negative_binomial", "noncentral_chisquare",
+    "noncentral_f", "normal", "pareto", "permutation", "poisson", "power",
+    "rand", "randint", "randn", "random", "random_integers",
+    "random_sample", "ranf", "rayleigh", "sample", "seed", "shuffle",
+    "standard_cauchy", "standard_exponential", "standard_gamma",
+    "standard_normal", "standard_t", "triangular", "uniform", "vonmises",
+    "wald", "weibull", "zipf",
+}
+
+#: Constructors that are deterministic only when given an explicit seed.
+SEEDABLE_CTORS = {"Random", "default_rng", "PCG64", "PCG64DXSM", "MT19937",
+                  "Philox", "SFC64", "SystemRandom"}
+
+#: Call wrappers through which set iteration order leaks into results.
+ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "reversed"}
+
+_IGNORE_RE = re.compile(
+    r"#\s*detlint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _line_ignores(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule IDs (None = all rules)."""
+    ignores: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(line)
+        if match:
+            rules = match.group("rules")
+            if rules is None:
+                ignores[lineno] = None
+            else:
+                ignores[lineno] = {
+                    r.strip() for r in rules.split(",") if r.strip()
+                }
+    return ignores
+
+
+class _Visitor(ast.NodeVisitor):
+    """One-pass walker: tracks import aliases, collects findings."""
+
+    def __init__(self, path: Path, in_critical: bool) -> None:
+        self.path = path
+        self.in_critical = in_critical
+        self.findings: List[Finding] = []
+        # Local names bound to the modules we care about.
+        self.random_aliases: Set[str] = set()
+        self.numpy_aliases: Set[str] = set()
+        self.numpy_random_aliases: Set[str] = set()
+        self.time_aliases: Set[str] = set()
+        # from-imports: local name -> (module, original name).
+        self.from_imports: Dict[str, Tuple[str, str]] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, getattr(node, "lineno", 0), rule, message)
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(local)
+            elif alias.name == "numpy":
+                self.numpy_aliases.add(local)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.numpy_random_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add("numpy")
+            elif alias.name == "time":
+                self.time_aliases.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if module == "numpy" and alias.name == "random":
+                self.numpy_random_aliases.add(local)
+            elif module in ("random", "numpy.random", "time"):
+                self.from_imports[local] = (module, alias.name)
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.AST) -> Optional[Tuple[str, str]]:
+        """Resolve a call/attribute target to (module, name) if tracked.
+
+        Handles ``random.seed`` / ``np.random.rand`` /
+        ``nprandom.default_rng`` / bare names bound by from-imports.
+        """
+        if isinstance(node, ast.Name):
+            return self.from_imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            value = node.value
+            if isinstance(value, ast.Name):
+                if value.id in self.random_aliases:
+                    return ("random", node.attr)
+                if value.id in self.numpy_random_aliases:
+                    return ("numpy.random", node.attr)
+                if value.id in self.time_aliases:
+                    return ("time", node.attr)
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in self.numpy_aliases
+            ):
+                return ("numpy.random", node.attr)
+        return None
+
+    # -- DET001 / DET002 ------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is not None:
+            module, name = resolved
+            if module == "random" and name in GLOBAL_RANDOM_FUNCS:
+                self._add(
+                    node, "DET001",
+                    f"random.{name}() uses the global RNG; construct a "
+                    f"seeded random.Random(seed) instead",
+                )
+            elif module == "numpy.random" and name in GLOBAL_NUMPY_FUNCS:
+                self._add(
+                    node, "DET001",
+                    f"numpy.random.{name}() uses global RNG state; use a "
+                    f"seeded np.random.Generator(np.random.PCG64(seed))",
+                )
+            elif name in SEEDABLE_CTORS and not node.args:
+                self._add(
+                    node, "DET001",
+                    f"{name}() without a seed is entropy-seeded; pass an "
+                    f"explicit seed",
+                )
+            elif (
+                module == "time"
+                and name in ("time", "clock")
+                and self.in_critical
+            ):
+                self._add(
+                    node, "DET002",
+                    f"time.{name}() in a reproducibility-critical path; "
+                    f"use time.perf_counter() for durations",
+                )
+        self._check_order_sensitive_call(node)
+        self.generic_visit(node)
+
+    # -- DET003 ---------------------------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def _flag_set_iteration(self, node: ast.AST, context: str) -> None:
+        self._add(
+            node, "DET003",
+            f"iterating a set {context} has nondeterministic order; "
+            f"wrap it in sorted(...)",
+        )
+
+    def _check_order_sensitive_call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ORDER_SENSITIVE_WRAPPERS
+            and node.args
+            and self._is_set_expr(node.args[0])
+        ):
+            self._flag_set_iteration(node, f"via {func.id}()")
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+            and self._is_set_expr(node.args[0])
+        ):
+            self._flag_set_iteration(node, "via str.join()")
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag_set_iteration(node, "in a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if self._is_set_expr(gen.iter):
+                self._flag_set_iteration(node, "in a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    # Building a set FROM a set is order-safe, but nested generators over
+    # sets inside a SetComp are not; keep the uniform check.
+    visit_SetComp = _visit_comprehension
+
+
+def is_critical_path(path: Path) -> bool:
+    """True for files in the packages whose output must be reproducible."""
+    return bool(CRITICAL_PARTS.intersection(path.parts))
+
+
+def scan_file(path: Path) -> List[Finding]:
+    """Lint one Python file; returns findings after inline suppressions."""
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, "DET000",
+                        f"syntax error: {exc.msg}")]
+    visitor = _Visitor(path, in_critical=is_critical_path(path))
+    visitor.visit(tree)
+    ignores = _line_ignores(source)
+    kept = []
+    for finding in visitor.findings:
+        if finding.line in ignores:
+            rules = ignores[finding.line]
+            if rules is None or finding.rule in rules:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def scan_paths(paths: Sequence[Path]) -> List[Finding]:
+    findings: List[Finding] = []
+    for root in paths:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            findings.extend(scan_file(file))
+    return sorted(findings, key=lambda f: (str(f.path), f.line, f.rule))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    paths = [Path(p) for p in argv] or [Path("src")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"detlint: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    findings = scan_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"detlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
