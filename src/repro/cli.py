@@ -7,6 +7,7 @@ Usage::
     python -m repro faults s208
     python -m repro lint s208 [--json] [--strict]
     python -m repro run s208 --la 8 --lb 16 --n 64
+    python -m repro run s208 --checkpoint s208.journal [--resume]
     python -m repro first-complete s208
     python -m repro table 6 [--full]
     python -m repro convert s27.bench s27.v
@@ -128,17 +129,41 @@ def _config_from_args(args: argparse.Namespace) -> BistConfig:
             D1_DECREASING if args.d1_order == "decreasing" else D1_INCREASING
         ),
         n_jobs=args.jobs,
+        shard_timeout=args.shard_timeout,
+        shard_retries=args.shard_retries,
     )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("run: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
     circuit = resolve_circuit(args.circuit)
-    bist = LimitedScanBist(circuit, config=_config_from_args(args))
-    result = bist.run()
+    config = _config_from_args(args)
+    bist = LimitedScanBist(circuit, config=config)
+    if args.checkpoint:
+        from repro.core.procedure2 import resume_procedure2, run_procedure2
+        from repro.robustness.checkpoint import CheckpointPolicy
+
+        ckpt = CheckpointPolicy(path=args.checkpoint)
+        if args.resume and Path(args.checkpoint).exists():
+            result = resume_procedure2(
+                circuit, config, bist.target_faults, ckpt,
+                simulator=bist.simulator,
+            )
+        else:
+            result = run_procedure2(
+                circuit, config, bist.target_faults,
+                simulator=bist.simulator, checkpoint=ckpt,
+            )
+    else:
+        result = bist.run()
     print(result.summary())
     for pair in result.pairs:
         print(f"  I={pair.iteration:<3} D1={pair.d1:<3} "
               f"+{pair.newly_detected} faults, {pair.nsh} shift cycles")
+    if result.degradation is not None:
+        print(f"degraded: {result.degradation.summary()}", file=sys.stderr)
     return 0 if result.complete else 1
 
 
@@ -234,9 +259,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1,
                        help="fault-simulation worker processes "
                             "(1 = serial, -1 = all cores)")
+        p.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-shard watchdog timeout before a hung "
+                            "worker pool is respawned (default: wait "
+                            "forever)")
+        p.add_argument("--shard-retries", type=int, default=2,
+                       help="parallel retries for a failed shard before "
+                            "it is re-run serially (default: 2)")
 
     p = sub.add_parser("run", help="Procedure 2 for one (LA, LB, N)")
     add_bist_args(p)
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="journal every iteration to PATH so a killed run "
+                        "can be resumed")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from --checkpoint's journal if it "
+                        "exists (byte-identical to an uninterrupted run)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("first-complete",

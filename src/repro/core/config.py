@@ -8,8 +8,9 @@ fully determines every generated test set: the scheme's storage cost is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 #: The paper's default exploration order for D1 in Procedure 2.
 D1_INCREASING: Tuple[int, ...] = tuple(range(1, 11))
@@ -47,6 +48,12 @@ class BistConfig:
             :class:`repro.analysis.LintError`, ``'off'`` skips the
             check.  Like ``n_jobs`` it never changes results on valid
             circuits and is excluded from serialized configurations.
+        shard_timeout: seconds the sharded simulator waits for a
+            dispatch's worker shards before declaring the laggards hung
+            and respawning the pool; ``None`` waits forever.  Execution
+            knob (recovery re-runs the same deterministic work).
+        shard_retries: parallel re-attempts for a failed shard before it
+            is re-executed serially in the parent.  Execution knob.
     """
 
     la: int = 8
@@ -61,6 +68,8 @@ class BistConfig:
     rng_kind: str = "numpy"
     n_jobs: int = 1
     lint: str = "warn"
+    shard_timeout: Optional[float] = None
+    shard_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.la < 1 or self.lb < 1:
@@ -81,22 +90,51 @@ class BistConfig:
             raise ValueError("n_jobs must be >= 1, or -1 for all cores")
         if self.lint not in ("off", "warn", "error"):
             raise ValueError("lint must be 'off', 'warn', or 'error'")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive, or None")
+        if self.shard_retries < 0:
+            raise ValueError("shard_retries must be >= 0")
 
     def with_lengths(self, la: int, lb: int, n: int) -> "BistConfig":
         """A copy with different ``(L_A, L_B, N)`` (everything else kept)."""
-        return BistConfig(
-            la=la,
-            lb=lb,
-            n=n,
-            base_seed=self.base_seed,
-            d1_values=self.d1_values,
-            n_same_fc=self.n_same_fc,
-            max_iterations=self.max_iterations,
-            d2=self.d2,
-            reseed_per_test=self.reseed_per_test,
-            rng_kind=self.rng_kind,
-            n_jobs=self.n_jobs,
-            lint=self.lint,
+        return dataclasses.replace(self, la=la, lb=lb, n=n)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The result-affecting parameters as a JSON-compatible dict.
+
+        Execution knobs (``n_jobs``, ``lint``, ``shard_timeout``,
+        ``shard_retries``) are intentionally omitted: they never change
+        results on valid circuits, so serialized outputs and checkpoint
+        journals stay byte-identical across serial/parallel, lint-mode,
+        and recovery-policy variations.
+        """
+        return {
+            "la": self.la,
+            "lb": self.lb,
+            "n": self.n,
+            "base_seed": self.base_seed,
+            "d1_values": list(self.d1_values),
+            "n_same_fc": self.n_same_fc,
+            "max_iterations": self.max_iterations,
+            "d2": self.d2,
+            "reseed_per_test": self.reseed_per_test,
+            "rng_kind": self.rng_kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BistConfig":
+        """Inverse of :meth:`to_dict` (execution knobs take defaults)."""
+        return cls(
+            la=data["la"],
+            lb=data["lb"],
+            n=data["n"],
+            base_seed=data["base_seed"],
+            d1_values=tuple(data["d1_values"]),
+            n_same_fc=data["n_same_fc"],
+            max_iterations=data["max_iterations"],
+            d2=data.get("d2"),
+            reseed_per_test=data["reseed_per_test"],
+            rng_kind=data["rng_kind"],
         )
 
     def effective_d2(self, n_sv: int) -> int:

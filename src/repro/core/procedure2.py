@@ -6,13 +6,21 @@ configured ``D1`` values in preference order, fault-simulate
 the pair iff it detects something new.  Terminate at 100% coverage of the
 target faults or after ``N_SAME_FC`` consecutive iterations of ``I``
 without improvement (plus a hard ``max_iterations`` safety cap).
+
+Long runs are crash-safe: pass a
+:class:`~repro.robustness.checkpoint.CheckpointPolicy` and every
+iteration is journaled (selected pairs, detection records, the
+``(iteration, n_same_fc)`` cursor); :func:`resume_procedure2` replays
+the journal, re-derives ``TS(I, D1)`` deterministically, skips the
+completed work, and produces a result byte-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from repro.circuit.netlist import Circuit
 from repro.core.config import BistConfig
@@ -27,7 +35,15 @@ from repro.faults.fault_sim import (
     ScanTest,
 )
 from repro.faults.model import Fault
-from repro.faults.sharding import ShardedFaultSimulator, resolve_n_jobs
+from repro.faults.sharding import (
+    RecoveryPolicy,
+    ShardedFaultSimulator,
+    resolve_n_jobs,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.robustness.checkpoint import CheckpointPolicy, CheckpointWriter
+    from repro.robustness.degradation import DegradationReport
 
 
 @dataclass
@@ -56,6 +72,9 @@ class Procedure2Result:
     iterations_run: int = 0
     remaining_faults: List[Fault] = field(default_factory=list)
     detections: Dict[Fault, DetectionRecord] = field(default_factory=dict)
+    #: Worker-pool recovery actions of this run (execution metadata:
+    #: populated only when a sharded run degraded, never serialized).
+    degradation: Optional["DegradationReport"] = None
 
     # ---- the paper's reported metrics ---------------------------------
     @property
@@ -108,6 +127,79 @@ class Procedure2Result:
         )
 
 
+@dataclass
+class _ResumeState:
+    """Replayed journal state handed to the Procedure 2 loop."""
+
+    result: Procedure2Result
+    remaining: List[Fault]
+    iteration: int
+    n_same_fc: int
+    ts0_done: bool
+
+
+def _lint_gate(circuit: Circuit, config: BistConfig) -> None:
+    if config.lint == "off":
+        return
+    from repro.analysis import LintError, lint_structural
+
+    lint_report = lint_structural(circuit)
+    if lint_report.has_errors:
+        if config.lint == "error":
+            raise LintError(lint_report)
+        warnings.warn(
+            f"circuit {circuit.name} has structural lint errors: "
+            + "; ".join(i.message for i in lint_report.errors),
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def _recovery_from_config(config: BistConfig) -> RecoveryPolicy:
+    return RecoveryPolicy(
+        shard_timeout=config.shard_timeout,
+        max_retries=config.shard_retries,
+        seed=config.base_seed,
+    )
+
+
+def _attach_degradation(
+    result: Procedure2Result,
+    sim: Union[FaultSimulator, ShardedFaultSimulator],
+) -> None:
+    if isinstance(sim, ShardedFaultSimulator) and sim.degradation.degraded:
+        result.degradation = sim.degradation
+
+
+def _journal_header(
+    circuit: Circuit,
+    config: BistConfig,
+    n_sv: int,
+    target_faults: Sequence[Fault],
+) -> Dict[str, Any]:
+    from repro.robustness.checkpoint import JOURNAL_VERSION, fingerprint_faults
+
+    return {
+        "kind": "header",
+        "version": JOURNAL_VERSION,
+        "circuit": circuit.name,
+        "config": config.to_dict(),
+        "n_sv": n_sv,
+        "num_targets": len(target_faults),
+        "targets_sha256": fingerprint_faults(target_faults),
+    }
+
+
+def _detection_rows(
+    hits: Dict[Fault, DetectionRecord], positions: Dict[Fault, int]
+) -> List[List[Any]]:
+    """Detection records as compact journal rows, in detection order."""
+    return [
+        [positions[f], rec.test_index, rec.time_unit, rec.where]
+        for f, rec in hits.items()
+    ]
+
+
 def run_procedure2(
     circuit: Circuit,
     config: BistConfig,
@@ -116,6 +208,7 @@ def run_procedure2(
     policy: Optional[ObservationPolicy] = None,
     ts0: Optional[List[ScanTest]] = None,
     n_jobs: Optional[int] = None,
+    checkpoint: Optional[Union["CheckpointPolicy", str]] = None,
 ) -> Procedure2Result:
     """Run Procedure 2 for ``circuit`` under ``config``.
 
@@ -127,34 +220,197 @@ def run_procedure2(
     ``n_jobs`` (default: ``config.n_jobs``) shards the fault list across
     worker processes for every fault-simulation call; one pool lives for
     the whole run so workers keep their compiled model across iterations.
-    Results are identical to the serial run for any ``n_jobs``.
+    Results are identical to the serial run for any ``n_jobs``; worker
+    failures are recovered shard by shard (see
+    :mod:`repro.faults.sharding`) and recorded on
+    ``result.degradation``.
+
+    ``checkpoint`` (a :class:`~repro.robustness.checkpoint.CheckpointPolicy`
+    or a path) journals every iteration so a killed run can be continued
+    with :func:`resume_procedure2` -- byte-identical to an uninterrupted
+    run.  The journal at that path is overwritten.
 
     Per ``config.lint``, the circuit is design-rule checked before any
     simulation cycle is spent: a malformed netlist either raises
     :class:`repro.analysis.LintError` (``'error'``) or emits a
     ``RuntimeWarning`` and proceeds at your own risk (``'warn'``).
     """
-    if config.lint != "off":
-        from repro.analysis import LintError, lint_structural
-
-        lint_report = lint_structural(circuit)
-        if lint_report.has_errors:
-            if config.lint == "error":
-                raise LintError(lint_report)
-            warnings.warn(
-                f"circuit {circuit.name} has structural lint errors: "
-                + "; ".join(i.message for i in lint_report.errors),
-                RuntimeWarning,
-                stacklevel=2,
-            )
+    _lint_gate(circuit, config)
+    target_faults = list(target_faults)
     simulator = simulator or FaultSimulator(circuit)
     jobs = resolve_n_jobs(config.n_jobs if n_jobs is None else n_jobs)
-    sim = simulator.sharded(jobs) if jobs > 1 else simulator
+    sim = (
+        simulator.sharded(jobs, recovery=_recovery_from_config(config))
+        if jobs > 1
+        else simulator
+    )
+    writer = None
+    if checkpoint is not None:
+        from repro.robustness.checkpoint import CheckpointPolicy, CheckpointWriter
+
+        ckpt = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointPolicy)
+            else CheckpointPolicy(path=checkpoint)
+        )
+        writer = CheckpointWriter(
+            ckpt,
+            header=_journal_header(
+                circuit, config, sim.chain_length, target_faults
+            ),
+        )
     try:
-        return _run_procedure2_body(circuit, config, target_faults, sim, policy, ts0)
+        result = _run_procedure2_body(
+            circuit, config, target_faults, sim, policy, ts0, writer=writer
+        )
     finally:
         if sim is not simulator:
             sim.close()
+        if writer is not None:
+            writer.close()
+    _attach_degradation(result, sim)
+    return result
+
+
+def resume_procedure2(
+    circuit: Circuit,
+    config: BistConfig,
+    target_faults: Sequence[Fault],
+    checkpoint: Union["CheckpointPolicy", str],
+    simulator: Optional[FaultSimulator] = None,
+    policy: Optional[ObservationPolicy] = None,
+    ts0: Optional[List[ScanTest]] = None,
+    n_jobs: Optional[int] = None,
+) -> Procedure2Result:
+    """Continue a checkpointed Procedure 2 run from its journal.
+
+    The journal's committed state (TS0 detections, selected pairs,
+    cursor) is replayed without any simulation; the loop then continues
+    exactly where the interrupted run left off, appending to the same
+    journal.  The returned result -- including a finished journal, which
+    returns immediately -- is byte-identical (via
+    :mod:`repro.experiments.serialize`) to an uninterrupted run of the
+    same ``(circuit, config, target_faults)``.
+
+    Raises :class:`~repro.robustness.checkpoint.CheckpointError` if the
+    journal is missing or unreadable, and
+    :class:`~repro.robustness.checkpoint.CheckpointMismatchError` if it
+    was written for a different circuit, config, or target-fault list.
+    ``n_jobs`` may freely differ from the original run.
+    """
+    from repro.robustness.checkpoint import (
+        CheckpointMismatchError,
+        CheckpointPolicy,
+        CheckpointWriter,
+        fingerprint_faults,
+        load_checkpoint,
+    )
+
+    ckpt = (
+        checkpoint
+        if isinstance(checkpoint, CheckpointPolicy)
+        else CheckpointPolicy(path=checkpoint)
+    )
+    state = load_checkpoint(ckpt.path)
+    target_faults = list(target_faults)
+    header = state.header
+    mismatches = []
+    if header.get("circuit") != circuit.name:
+        mismatches.append(
+            f"circuit {header.get('circuit')!r} != {circuit.name!r}"
+        )
+    if header.get("config") != config.to_dict():
+        mismatches.append("config differs")
+    if header.get("num_targets") != len(target_faults):
+        mismatches.append(
+            f"{header.get('num_targets')} target faults != {len(target_faults)}"
+        )
+    elif header.get("targets_sha256") != fingerprint_faults(target_faults):
+        mismatches.append("target-fault fingerprint differs")
+    if mismatches:
+        raise CheckpointMismatchError(
+            f"journal {ckpt.path} does not match this run: "
+            + "; ".join(mismatches)
+        )
+
+    # ---- replay the committed journal ---------------------------------
+    result = Procedure2Result(
+        circuit_name=circuit.name,
+        config=config,
+        n_sv=header["n_sv"],
+        num_targets=len(target_faults),
+    )
+    detected: set = set()
+    for idx, test_index, time_unit, where in state.detected_rows:
+        fault = target_faults[idx]
+        result.detections[fault] = DetectionRecord(
+            fault=fault, test_index=test_index, time_unit=time_unit, where=where
+        )
+        detected.add(idx)
+    if state.ts0 is not None:
+        result.ts0_detected = len(state.ts0["detected"])
+    result.pairs = [
+        PairResult(
+            iteration=p["iteration"],
+            d1=p["d1"],
+            newly_detected=p["newly_detected"],
+            nsh=p["nsh"],
+            ls_time_units=p["ls_time_units"],
+            total_time_units=p["total_time_units"],
+        )
+        for p in state.pairs
+    ]
+    remaining = [
+        f for i, f in enumerate(target_faults) if i not in detected
+    ]
+    iteration, n_same_fc = state.cursor
+
+    if state.final is not None:
+        result.complete = state.final["complete"]
+        result.iterations_run = state.final["iterations_run"]
+        result.remaining_faults = remaining
+        return result
+
+    # ---- continue the run ---------------------------------------------
+    simulator = simulator or FaultSimulator(circuit)
+    jobs = resolve_n_jobs(config.n_jobs if n_jobs is None else n_jobs)
+    sim = (
+        simulator.sharded(jobs, recovery=_recovery_from_config(config))
+        if jobs > 1
+        else simulator
+    )
+    if sim.chain_length != header["n_sv"]:
+        if sim is not simulator:
+            sim.close()
+        raise CheckpointMismatchError(
+            f"journal n_sv {header['n_sv']} != simulator chain length "
+            f"{sim.chain_length}"
+        )
+    start = _ResumeState(
+        result=result,
+        remaining=remaining,
+        iteration=iteration,
+        n_same_fc=n_same_fc,
+        ts0_done=state.ts0 is not None,
+    )
+    writer = CheckpointWriter(ckpt)  # append to the existing journal
+    try:
+        result = _run_procedure2_body(
+            circuit,
+            config,
+            target_faults,
+            sim,
+            policy,
+            ts0,
+            writer=writer,
+            start=start,
+        )
+    finally:
+        if sim is not simulator:
+            sim.close()
+        writer.close()
+    _attach_degradation(result, sim)
+    return result
 
 
 def _run_procedure2_body(
@@ -164,57 +420,99 @@ def _run_procedure2_body(
     simulator: Union[FaultSimulator, ShardedFaultSimulator],
     policy: Optional[ObservationPolicy],
     ts0: Optional[List[ScanTest]],
+    writer: Optional["CheckpointWriter"] = None,
+    start: Optional[_ResumeState] = None,
 ) -> Procedure2Result:
     ts0 = ts0 if ts0 is not None else generate_ts0(circuit, config)
     # Under partial scan the chain length plays the role of N_SV in both
     # the cost model and Procedure 1's D2; under full scan they coincide.
     n_sv = simulator.chain_length
-
-    result = Procedure2Result(
-        circuit_name=circuit.name,
-        config=config,
-        n_sv=n_sv,
-        num_targets=len(target_faults),
+    positions = (
+        {f: i for i, f in enumerate(target_faults)} if writer else None
     )
 
-    remaining: List[Fault] = list(target_faults)
-    ts0_hits = simulator.simulate_grouped(ts0, remaining, policy)
-    result.detections.update(ts0_hits)
-    result.ts0_detected = len(ts0_hits)
-    remaining = [f for f in remaining if f not in ts0_hits]
-    if not remaining:
-        result.complete = True
-        return result
+    if start is not None and start.ts0_done:
+        result = start.result
+        remaining = start.remaining
+        iteration = start.iteration
+        n_same_fc = start.n_same_fc
+        if not remaining:
+            # Journaled to 100% coverage but killed before the final
+            # record: only the bookkeeping is left to redo.
+            result.complete = True
+            result.iterations_run = iteration
+            if writer:
+                writer.write_final(True, iteration)
+            return result
+    else:
+        result = Procedure2Result(
+            circuit_name=circuit.name,
+            config=config,
+            n_sv=n_sv,
+            num_targets=len(target_faults),
+        )
+        remaining = list(target_faults)
+        ts0_hits = simulator.simulate_grouped(ts0, remaining, policy)
+        result.detections.update(ts0_hits)
+        result.ts0_detected = len(ts0_hits)
+        remaining = [f for f in remaining if f not in ts0_hits]
+        if writer:
+            writer.write_ts0(_detection_rows(ts0_hits, positions))
+        if not remaining:
+            result.complete = True
+            if writer:
+                writer.write_final(True, 0)
+            return result
+        iteration = 0
+        n_same_fc = 0
 
-    iteration = 0
-    n_same_fc = 0
     while n_same_fc < config.n_same_fc and iteration < config.max_iterations:
         iteration += 1
         improved = False
+        journal_pairs: List[Dict[str, Any]] = []
         for d1 in config.d1_values:
             ts = build_limited_scan_test_set(ts0, iteration, d1, config, n_sv)
             hits = simulator.simulate_grouped(ts, remaining, policy)
             if hits:
                 result.detections.update(hits)
-                result.pairs.append(
-                    PairResult(
-                        iteration=iteration,
-                        d1=d1,
-                        newly_detected=len(hits),
-                        nsh=sum(t.total_shift_cycles for t in ts),
-                        ls_time_units=sum(t.num_limited_scans for t in ts),
-                        total_time_units=total_vectors(ts),
-                    )
+                pair = PairResult(
+                    iteration=iteration,
+                    d1=d1,
+                    newly_detected=len(hits),
+                    nsh=sum(t.total_shift_cycles for t in ts),
+                    ls_time_units=sum(t.num_limited_scans for t in ts),
+                    total_time_units=total_vectors(ts),
                 )
+                result.pairs.append(pair)
+                if writer:
+                    journal_pairs.append(
+                        {
+                            "iteration": pair.iteration,
+                            "d1": pair.d1,
+                            "newly_detected": pair.newly_detected,
+                            "nsh": pair.nsh,
+                            "ls_time_units": pair.ls_time_units,
+                            "total_time_units": pair.total_time_units,
+                            "detected": _detection_rows(hits, positions),
+                        }
+                    )
                 remaining = [f for f in remaining if f not in hits]
                 improved = True
             if not remaining:
                 break
+        n_same_fc_next = 0 if improved else n_same_fc + 1
+        if writer:
+            # One transaction per iteration: the pairs and the cursor land
+            # in a single fsync'd append, so a crash can never journal a
+            # half-iteration.
+            writer.commit_iteration(iteration, n_same_fc_next, journal_pairs)
         if not remaining:
             break
-        n_same_fc = 0 if improved else n_same_fc + 1
+        n_same_fc = n_same_fc_next
 
     result.iterations_run = iteration
     result.remaining_faults = remaining
     result.complete = not remaining
+    if writer:
+        writer.write_final(result.complete, iteration)
     return result

@@ -2,12 +2,24 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--full] [--out results/] [--jobs N]
+    python -m repro.experiments.runner [--full] [--out results/]
+                                       [--jobs N] [--resume]
 
 ``--full`` runs the paper-scale grids and circuit lists (minutes to
 hours); the default finishes in a few minutes on a laptop.  ``--jobs N``
 shards fault simulation across ``N`` worker processes (``-1`` = all
 cores); every reported number is identical for any value.
+
+The batch is crash-safe: every section's output is written atomically
+as soon as it finishes, and per-section completion is recorded in
+``manifest.json``.  ``--resume`` skips sections the manifest marks
+complete (failed sections are always re-run), so a killed ``--full``
+batch continues instead of recomputing finished tables.
+
+Section failures never kill the batch; they are reported inline
+(``FAILED: ...``), recorded as structured entries (exception type,
+message, traceback, elapsed seconds) in a machine-readable
+``failures.json``, and make the runner exit nonzero.
 
 Every batch starts with a design-rule lint preflight over the circuits
 it will simulate (see :mod:`repro.analysis`); a circuit with structural
@@ -16,14 +28,21 @@ errors aborts the run before any simulation time is spent.
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
+import traceback
 from pathlib import Path
-from typing import Callable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import ablations, table1, table3, table4, table5, table6, table7, table8
 from repro.experiments.common import set_default_n_jobs
-from repro.experiments.report import canonical_result_name, format_table
+from repro.experiments.report import canonical_result_name
+from repro.robustness.atomic import atomic_write_json, atomic_write_text
+
+#: Schema version of ``manifest.json``.
+MANIFEST_VERSION = 1
 
 
 def lint_preflight(circuit_names: Sequence[str]) -> str:
@@ -48,24 +67,10 @@ def lint_preflight(circuit_names: Sequence[str]) -> str:
     return "\n".join(lines)
 
 
-def _run_all(full: bool, out_dir: Path) -> List[Tuple[str, str]]:
-    sections: List[Tuple[str, str]] = []
-
-    def add(name: str, fn: Callable[[], str]) -> None:
-        # perf_counter: monotonic, immune to wall-clock adjustments.
-        t0 = time.perf_counter()
-        try:
-            text = fn()
-        except Exception as exc:  # experiments must not kill the batch
-            text = f"FAILED: {exc!r}"
-        elapsed = time.perf_counter() - t0
-        sections.append((name, text + f"\n[{elapsed:.1f}s]"))
-        print(f"=== {name} ({elapsed:.1f}s)")
-
-    add("table1", lambda: table1.run().render())
-    add("table3", lambda: table3.run(full=full).render())
-    add("table4", lambda: table4.run(full=full).render())
-    add("table5", lambda: table5.run().render())
+def _section_specs(
+    full: bool, out_dir: Path
+) -> List[Tuple[str, Callable[[], str]]]:
+    """Every experiment section, in run order, as ``(name, thunk)``."""
     circuits6 = table6.PAPER_CIRCUITS if full else table6.DEFAULT_CIRCUITS
 
     def run_table6() -> str:
@@ -76,70 +81,182 @@ def _run_all(full: bool, out_dir: Path) -> List[Tuple[str, str]]:
         save_reports(list(result.reports.values()), out_dir / "table6.json")
         return result.render()
 
-    add("table6", run_table6)
-    add("table7", lambda: table7.run(circuits6).render())
-    add("table8", lambda: table8.run().render())
-    add(
-        "ablation-observation",
-        lambda: ablations.render_rows(
-            ablations.observation_ablation(), "Observation-policy ablation (s208)"
+    return [
+        ("table1", lambda: table1.run().render()),
+        ("table3", lambda: table3.run(full=full).render()),
+        ("table4", lambda: table4.run(full=full).render()),
+        ("table5", lambda: table5.run().render()),
+        ("table6", run_table6),
+        ("table7", lambda: table7.run(circuits6).render()),
+        ("table8", lambda: table8.run().render()),
+        (
+            "ablation-observation",
+            lambda: ablations.render_rows(
+                ablations.observation_ablation(),
+                "Observation-policy ablation (s208)",
+            ),
         ),
-    )
-    add(
-        "ablation-full-scan-cost",
-        lambda: "\n".join(r.summary() for r in ablations.full_scan_cost()),
-    )
-    add(
-        "baselines",
-        lambda: "\n".join(r.summary() for r in ablations.baseline_comparison()),
-    )
-    add(
-        "ablation-reseed",
-        lambda: "\n".join(
-            f"{k}: {v.summary()}" for k, v in ablations.reseed_ablation().items()
+        (
+            "ablation-full-scan-cost",
+            lambda: "\n".join(r.summary() for r in ablations.full_scan_cost()),
         ),
-    )
-    add(
-        "ablation-d2",
-        lambda: "\n".join(
-            f"{k}: {v.summary()}" for k, v in ablations.d2_sweep().items()
+        (
+            "baselines",
+            lambda: "\n".join(
+                r.summary() for r in ablations.baseline_comparison()
+            ),
         ),
-    )
-    add(
-        "partial-scan",
-        lambda: ablations.partial_scan_experiment().summary(),
-    )
-    add("compaction", ablations.compaction_experiment)
-    add("transition-faults", ablations.transition_fault_experiment)
-    add("misr-validation", ablations.misr_validation)
-    add("run-lengths", ablations.run_length_report)
-    add("tat-reduction", ablations.tat_reduction_experiment)
-    add(
-        "alternatives",
-        lambda: "\n".join(ablations.alternatives_comparison()),
-    )
-    return sections
+        (
+            "ablation-reseed",
+            lambda: "\n".join(
+                f"{k}: {v.summary()}"
+                for k, v in ablations.reseed_ablation().items()
+            ),
+        ),
+        (
+            "ablation-d2",
+            lambda: "\n".join(
+                f"{k}: {v.summary()}" for k, v in ablations.d2_sweep().items()
+            ),
+        ),
+        ("partial-scan", lambda: ablations.partial_scan_experiment().summary()),
+        ("compaction", ablations.compaction_experiment),
+        ("transition-faults", ablations.transition_fault_experiment),
+        ("misr-validation", ablations.misr_validation),
+        ("run-lengths", ablations.run_length_report),
+        ("tat-reduction", ablations.tat_reduction_experiment),
+        ("alternatives", lambda: "\n".join(ablations.alternatives_comparison())),
+    ]
 
 
-def main(argv: Sequence[str] = ()) -> None:
-    argv = list(argv)
-    full = "--full" in argv
-    out_dir = Path("results")
-    if "--out" in argv:
-        out_dir = Path(argv[argv.index("--out") + 1])
-    if "--jobs" in argv:
-        set_default_n_jobs(int(argv[argv.index("--jobs") + 1]))
+def _load_manifest(path: Path, full: bool) -> Dict[str, Any]:
+    """The completed-section map of a previous run, or ``{}``.
+
+    A manifest from a different schema version or a different ``--full``
+    setting (the section workloads differ) is ignored wholesale, as is
+    an unreadable file -- resume is best-effort, never an error source.
+    """
+    if not path.exists():
+        return {}
+    try:
+        manifest = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return {}
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("version") != MANIFEST_VERSION
+        or manifest.get("full") != full
+    ):
+        return {}
+    sections = manifest.get("sections")
+    return sections if isinstance(sections, dict) else {}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run every experiment and write results atomically.",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale grids and circuit lists (minutes to hours)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("results"), metavar="DIR",
+        help="results directory (default: results/)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fault-simulation worker processes (1 = serial, -1 = all "
+             "cores); results are identical for any value",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip sections already completed per DIR/manifest.json "
+             "(failed sections are re-run)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    set_default_n_jobs(args.jobs)
+    out_dir: Path = args.out
     out_dir.mkdir(parents=True, exist_ok=True)
-    circuits = table6.PAPER_CIRCUITS if full else table6.DEFAULT_CIRCUITS
+    manifest_path = out_dir / "manifest.json"
+    previous = _load_manifest(manifest_path, args.full) if args.resume else {}
+
+    circuits = table6.PAPER_CIRCUITS if args.full else table6.DEFAULT_CIRCUITS
     print("=== lint preflight")
     print(lint_preflight(circuits))
-    sections = _run_all(full, out_dir)
-    for name, text in sections:
-        (out_dir / f"{canonical_result_name(name)}.txt").write_text(text + "\n")
+
+    sections: List[Tuple[str, str]] = []
+    failures: List[Dict[str, Any]] = []
+    completed: Dict[str, Any] = {}
+
+    def save_manifest() -> None:
+        atomic_write_json(
+            manifest_path,
+            {
+                "version": MANIFEST_VERSION,
+                "full": args.full,
+                "sections": completed,
+            },
+        )
+
+    for name, fn in _section_specs(args.full, out_dir):
+        section_path = out_dir / f"{canonical_result_name(name)}.txt"
+        cached = previous.get(name)
+        if (
+            cached
+            and cached.get("status") == "ok"
+            and section_path.exists()
+        ):
+            text = section_path.read_text().rstrip("\n")
+            sections.append((name, text))
+            completed[name] = cached
+            save_manifest()
+            print(f"=== {name} (resumed, previously "
+                  f"{cached.get('elapsed', 0):.1f}s)")
+            continue
+
+        # perf_counter: monotonic, immune to wall-clock adjustments.
+        t0 = time.perf_counter()
+        status = "ok"
+        try:
+            text = fn()
+        except Exception as exc:  # experiments must not kill the batch
+            status = "failed"
+            text = f"FAILED: {exc!r}"
+            failures.append(
+                {
+                    "section": name,
+                    "exception_type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                    "elapsed": round(time.perf_counter() - t0, 3),
+                }
+            )
+        elapsed = time.perf_counter() - t0
+        text = text + f"\n[{elapsed:.1f}s]"
+        atomic_write_text(section_path, text + "\n")
+        sections.append((name, text))
+        completed[name] = {"status": status, "elapsed": round(elapsed, 3)}
+        save_manifest()
+        print(f"=== {name} ({elapsed:.1f}s)"
+              + (" FAILED" if status == "failed" else ""))
+
     combined = "\n\n".join(f"## {name}\n\n{text}" for name, text in sections)
-    (out_dir / "all_experiments.txt").write_text(combined + "\n")
+    atomic_write_text(out_dir / "all_experiments.txt", combined + "\n")
+    atomic_write_json(out_dir / "failures.json", failures)
     print(f"\nwrote {len(sections)} sections to {out_dir}/")
+    if failures:
+        names = ", ".join(f["section"] for f in failures)
+        print(f"{len(failures)} section(s) failed: {names}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main(sys.argv[1:])
+    sys.exit(main(sys.argv[1:]))

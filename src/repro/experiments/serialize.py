@@ -17,6 +17,7 @@ from repro.core.procedure2 import PairResult, Procedure2Result
 from repro.core.session import CircuitReport
 from repro.core.parameter_selection import ParameterCombo
 from repro.faults.model import Fault
+from repro.robustness.atomic import atomic_write_text
 
 
 def fault_to_dict(fault: Fault) -> Dict[str, Any]:
@@ -38,36 +39,14 @@ def fault_from_dict(data: Dict[str, Any]) -> Fault:
 
 
 def config_to_dict(config: BistConfig) -> Dict[str, Any]:
-    # n_jobs and lint are intentionally omitted: they are execution knobs
-    # that never change results on valid circuits, so serialized outputs
-    # are byte-identical across serial/parallel and lint-mode runs.
-    return {
-        "la": config.la,
-        "lb": config.lb,
-        "n": config.n,
-        "base_seed": config.base_seed,
-        "d1_values": list(config.d1_values),
-        "n_same_fc": config.n_same_fc,
-        "max_iterations": config.max_iterations,
-        "d2": config.d2,
-        "reseed_per_test": config.reseed_per_test,
-        "rng_kind": config.rng_kind,
-    }
+    # Execution knobs (n_jobs, lint, shard_timeout, shard_retries) are
+    # intentionally omitted -- see BistConfig.to_dict, the single codec
+    # shared with checkpoint journal headers.
+    return config.to_dict()
 
 
 def config_from_dict(data: Dict[str, Any]) -> BistConfig:
-    return BistConfig(
-        la=data["la"],
-        lb=data["lb"],
-        n=data["n"],
-        base_seed=data["base_seed"],
-        d1_values=tuple(data["d1_values"]),
-        n_same_fc=data["n_same_fc"],
-        max_iterations=data["max_iterations"],
-        d2=data.get("d2"),
-        reseed_per_test=data["reseed_per_test"],
-        rng_kind=data["rng_kind"],
-    )
+    return BistConfig.from_dict(data)
 
 
 def result_to_dict(result: Procedure2Result) -> Dict[str, Any]:
@@ -163,7 +142,9 @@ def report_from_dict(data: Dict[str, Any]) -> CircuitReport:
 def save_result(
     result: Procedure2Result, path: Union[str, Path]
 ) -> None:
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+    # Atomic: a killed batch leaves the previous file (or none), never a
+    # truncated JSON document.
+    atomic_write_text(path, json.dumps(result_to_dict(result), indent=2))
 
 
 def load_result(path: Union[str, Path]) -> Procedure2Result:
@@ -173,8 +154,8 @@ def load_result(path: Union[str, Path]) -> Procedure2Result:
 def save_reports(
     reports: List[CircuitReport], path: Union[str, Path]
 ) -> None:
-    Path(path).write_text(
-        json.dumps([report_to_dict(r) for r in reports], indent=2)
+    atomic_write_text(
+        path, json.dumps([report_to_dict(r) for r in reports], indent=2)
     )
 
 

@@ -1,4 +1,4 @@
-"""Parallel fault-simulation sharding.
+"""Parallel fault-simulation sharding with shard-granular recovery.
 
 The packed fault list (64 faults per ``uint64`` word) is split into
 word-aligned contiguous shards and every shard is simulated by a worker
@@ -12,11 +12,17 @@ Two guarantees shape the design:
 
 - **Determinism**: the merged detection records are re-ordered by
   ``(test_index, time_unit, position in the input fault list)``, so the
-  output never depends on worker scheduling.
-- **Graceful degradation**: any pool failure (a worker dying, a pickling
-  problem, an exhausted system) falls back to the serial simulator with a
-  ``RuntimeWarning`` -- a parallel run may be slow, but never wrong or
-  fatal.
+  output never depends on worker scheduling -- or on how many times a
+  shard had to be retried.
+- **Graceful degradation, shard by shard**: a dead worker, a hung
+  worker, a corrupted shard return, or an ordinary task exception costs
+  only that shard's work.  Failed shards are retried with deterministic
+  seeded backoff (the pool is respawned first if it broke), and a shard
+  that exhausts its retries is re-executed serially in the parent.  A
+  parallel run may be slow, but never wrong or fatal; every recovery
+  action is recorded in a structured
+  :class:`~repro.robustness.degradation.DegradationReport` instead of a
+  lost warning.
 
 Workers are initialized once per process with a pickled replica of the
 simulator (the compiled model pickles as flat numpy arrays; no
@@ -28,11 +34,21 @@ from __future__ import annotations
 
 import os
 import pickle
-import warnings
-from concurrent.futures import Executor, ProcessPoolExecutor
+import random
+import time
+from concurrent.futures import (
+    CancelledError,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.model import Fault
+from repro.robustness.chaos import ChaosPlan, execute_injected
+from repro.robustness.degradation import DegradationReport
 from repro.simulation.compiled import shard_word_ranges
 
 #: Faults per simulation word (bits of a uint64).
@@ -64,6 +80,53 @@ def shard_faults(faults: Sequence[Fault], n_shards: int) -> List[List[Fault]]:
     ]
 
 
+class RecoveryPolicy:
+    """How the sharded simulator reacts to a failing shard.
+
+    Attributes:
+        shard_timeout: seconds a dispatch waits for its shards before
+            declaring the laggards hung and killing the pool.  ``None``
+            (default) waits forever -- appropriate when workloads have no
+            known bound.
+        max_retries: attempts *after* the first before a shard is
+            re-executed serially in the parent (0 = straight to serial).
+        backoff_base: base of the exponential backoff slept between
+            attempts; 0 disables sleeping.
+        backoff_cap: upper bound on a single backoff sleep, seconds.
+        seed: seed of the backoff jitter.  The jitter RNG is derived
+            from ``(seed, dispatch, shard, attempt)`` alone, so recovery
+            timing is as reproducible as everything else.
+    """
+
+    def __init__(
+        self,
+        shard_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.seed = seed
+
+    def backoff_delay(self, dispatch: int, shard: int, attempt: int) -> float:
+        """Deterministic jittered exponential backoff for one retry."""
+        if self.backoff_base <= 0:
+            return 0.0
+        rng = random.Random(
+            self.seed * 1_000_003 + dispatch * 8_191 + shard * 131 + attempt
+        )
+        delay = self.backoff_base * (2.0**attempt) * (0.5 + rng.random())
+        return min(self.backoff_cap, delay)
+
+
 # ----------------------------------------------------------------------
 # Worker-process side.  One simulator replica per process, installed by
 # the pool initializer; tasks then name a method to call on it.
@@ -82,12 +145,31 @@ def _run_worker_method(method: str, args: tuple, kwargs: dict) -> Any:
     return getattr(_WORKER_SIM, method)(*args, **kwargs)
 
 
+def _run_worker_task(
+    method: str,
+    inject: Optional[str],
+    hang_seconds: float,
+    args: tuple,
+    kwargs: dict,
+) -> Any:
+    """Hardened-path task: like :func:`_run_worker_method`, plus chaos."""
+    if _WORKER_SIM is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker pool used before initialization")
+    return execute_injected(
+        inject,
+        hang_seconds,
+        lambda: getattr(_WORKER_SIM, method)(*args, **kwargs),
+    )
+
+
 class SimulatorPool:
     """A process pool whose workers each hold a replica of one simulator.
 
     The replica is shipped once per worker (pool initializer), so tasks
-    only pay to pickle their own arguments.  Any failure marks the pool
-    broken; callers are expected to fall back to their serial path.
+    only pay to pickle their own arguments.  The simple :meth:`map_method`
+    surface is all-or-nothing (used by PPSFP, which owns its fallback);
+    :class:`ShardedFaultSimulator` uses :meth:`submit_task` +
+    :meth:`kill` for shard-granular recovery and respawn.
     """
 
     def __init__(self, simulator: Any, n_jobs: int) -> None:
@@ -104,6 +186,19 @@ class SimulatorPool:
                 initargs=(self._payload,),
             )
         return self._executor
+
+    def submit_task(
+        self,
+        method: str,
+        inject: Optional[str],
+        hang_seconds: float,
+        args: tuple,
+        kwargs: dict,
+    ) -> Future:
+        """Submit one shard task; the caller owns collection and retry."""
+        return self._ensure_executor().submit(
+            _run_worker_task, method, inject, hang_seconds, args, kwargs
+        )
 
     def map_method(self, method: str, calls: Sequence[Tuple[tuple, dict]]) -> List[Any]:
         """Run ``simulator.method(*args, **kwargs)`` for every call, in order.
@@ -122,6 +217,20 @@ class SimulatorPool:
                 f.cancel()
             raise
 
+    def kill(self) -> None:
+        """Tear the pool down hard, terminating workers (hung ones too).
+
+        The next :meth:`submit_task` transparently respawns a fresh pool
+        of workers from the stored simulator payload.
+        """
+        if self._executor is not None:
+            processes = list(getattr(self._executor, "_processes", {}).values())
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            for proc in processes:
+                if proc.is_alive():
+                    proc.terminate()
+            self._executor = None
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
@@ -134,6 +243,28 @@ class SimulatorPool:
         self.close()
 
 
+def _valid_shard_result(records: Any, shard: Sequence[Fault]) -> bool:
+    """Sanity-check a worker's payload before trusting it in the merge.
+
+    Every key must be a fault of *this* shard and every value must look
+    like a detection record; anything else is treated as a shard failure
+    and recovered like a crash.
+    """
+    if not isinstance(records, dict):
+        return False
+    members = set(shard)
+    for fault, record in records.items():
+        if fault not in members:
+            return False
+        if not (
+            hasattr(record, "test_index")
+            and hasattr(record, "time_unit")
+            and hasattr(record, "where")
+        ):
+            return False
+    return True
+
+
 class ShardedFaultSimulator:
     """Fault-sharded parallel front-end for a :class:`FaultSimulator`.
 
@@ -143,15 +274,30 @@ class ShardedFaultSimulator:
     records are merged deterministically.  ``n_jobs == 1`` bypasses the
     pool entirely and is byte-for-byte the serial path.
 
+    Shard failures are recovered per the :class:`RecoveryPolicy`:
+    bounded retries with seeded backoff, pool respawn after a crash or a
+    per-shard timeout, and serial re-execution of a shard that keeps
+    failing.  Every recovery action lands in :attr:`degradation`.
+
     Use as a context manager (or call :meth:`close`) so worker processes
     do not outlive the work.
     """
 
-    def __init__(self, base: Any, n_jobs: int = 1) -> None:
+    def __init__(
+        self,
+        base: Any,
+        n_jobs: int = 1,
+        recovery: Optional[RecoveryPolicy] = None,
+        chaos: Optional[ChaosPlan] = None,
+    ) -> None:
         self.base = base
         self.n_jobs = resolve_n_jobs(n_jobs)
+        self.recovery = recovery or RecoveryPolicy()
+        self.chaos = chaos
+        self.degradation = DegradationReport()
         self._pool: Optional[SimulatorPool] = None
-        self._fell_back = False
+        self._pool_unavailable = False
+        self._dispatches = 0
 
     # -- pass-throughs the callers rely on ------------------------------
     @property
@@ -184,28 +330,142 @@ class ShardedFaultSimulator:
         tests = list(tests)
         faults = list(faults)
         serial = getattr(self.base, method)
-        if self.n_jobs <= 1 or self._fell_back:
+        if self.n_jobs <= 1 or self._pool_unavailable:
             return serial(tests, faults, policy, **kwargs)
         shards = shard_faults(faults, self.n_jobs)
         if len(shards) <= 1:
             return serial(tests, faults, policy, **kwargs)
-        try:
-            if self._pool is None:
-                self._pool = SimulatorPool(self.base, self.n_jobs)
-            results = self._pool.map_method(
-                method, [((tests, shard, policy), kwargs) for shard in shards]
-            )
-        except Exception as exc:
-            warnings.warn(
-                f"parallel fault simulation failed ({exc!r}); "
-                "falling back to the serial simulator",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            self._fell_back = True
-            self.close()
-            return serial(tests, faults, policy, **kwargs)
+        dispatch = self._dispatches
+        self._dispatches += 1
+        results = self._run_shards(dispatch, method, tests, shards, policy, kwargs)
         return _merge_records(results, faults)
+
+    # -- the hardened shard loop ----------------------------------------
+    def _run_shards(
+        self,
+        dispatch: int,
+        method: str,
+        tests: list,
+        shards: List[List[Fault]],
+        policy,
+        kwargs: dict,
+    ) -> List[Any]:
+        recovery = self.recovery
+        serial = getattr(self.base, method)
+        out: List[Any] = [None] * len(shards)
+        attempts = [0] * len(shards)
+        pending = list(range(len(shards)))
+
+        while pending:
+            try:
+                if self._pool is None:
+                    self._pool = SimulatorPool(self.base, self.n_jobs)
+                pool = self._pool
+                futures = {
+                    i: pool.submit_task(
+                        method,
+                        self._chaos_action(dispatch, i, attempts[i]),
+                        self.chaos.hang_seconds if self.chaos else 0.0,
+                        (tests, shards[i], policy),
+                        kwargs,
+                    )
+                    for i in pending
+                }
+            except Exception as exc:
+                # The pool itself cannot be built or fed (fork failure,
+                # unpicklable state, resource exhaustion): run everything
+                # still pending serially and stay serial from now on.
+                for i in pending:
+                    self.degradation.record(
+                        dispatch, i, attempts[i], "pool-unavailable",
+                        "serial", repr(exc),
+                    )
+                    out[i] = serial(tests, shards[i], policy, **kwargs)
+                self._pool_unavailable = True
+                self.close()
+                return out
+
+            failed: List[Tuple[int, str, str]] = []
+            pool_dead = False
+            deadline = (
+                None
+                if recovery.shard_timeout is None
+                else time.perf_counter() + recovery.shard_timeout
+            )
+            for i in pending:
+                future = futures[i]
+                try:
+                    if pool_dead:
+                        if not future.done():
+                            failed.append(
+                                (i, "pool-lost",
+                                 "pool torn down after an earlier failure")
+                            )
+                            continue
+                        records = future.result(timeout=0)
+                    elif deadline is None:
+                        records = future.result()
+                    else:
+                        budget = max(0.0, deadline - time.perf_counter())
+                        records = future.result(timeout=budget)
+                except FuturesTimeoutError:
+                    failed.append(
+                        (i, "timeout",
+                         f"no result within {recovery.shard_timeout}s")
+                    )
+                    pool_dead = True
+                    continue
+                except BrokenProcessPool as exc:
+                    failed.append((i, "crash", repr(exc)))
+                    pool_dead = True
+                    continue
+                except CancelledError:
+                    failed.append((i, "pool-lost", "future cancelled"))
+                    continue
+                except Exception as exc:
+                    failed.append((i, "error", repr(exc)))
+                    continue
+                if not _valid_shard_result(records, shards[i]):
+                    failed.append(
+                        (i, "invalid-result",
+                         "shard returned faults outside its own range "
+                         "or malformed records")
+                    )
+                    continue
+                out[i] = records
+
+            if pool_dead and self._pool is not None:
+                # A crash poisons the executor and a hung worker squats a
+                # slot forever; either way the pool must be respawned.
+                self._pool.kill()
+                self._pool = None
+                self.degradation.pool_respawns += 1
+
+            next_pending: List[int] = []
+            for i, kind, detail in failed:
+                if attempts[i] >= recovery.max_retries:
+                    self.degradation.record(
+                        dispatch, i, attempts[i], kind, "serial", detail
+                    )
+                    out[i] = serial(tests, shards[i], policy, **kwargs)
+                else:
+                    self.degradation.record(
+                        dispatch, i, attempts[i], kind, "retry", detail
+                    )
+                    delay = recovery.backoff_delay(dispatch, i, attempts[i])
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempts[i] += 1
+                    next_pending.append(i)
+            pending = next_pending
+        return out
+
+    def _chaos_action(
+        self, dispatch: int, shard: int, attempt: int
+    ) -> Optional[str]:
+        if self.chaos is None:
+            return None
+        return self.chaos.action(dispatch, shard, attempt)
 
     def close(self) -> None:
         if self._pool is not None:

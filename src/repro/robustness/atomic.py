@@ -1,0 +1,47 @@
+"""Atomic file writes: a result file is either absent or complete.
+
+A killed experiment batch must never leave a truncated ``table6.json``
+or ``all_experiments.txt`` behind -- a half-written JSON file is worse
+than none, because downstream tooling trusts it.  Every writer routes
+through :func:`atomic_write_text`: write to a sibling temporary file,
+flush, ``fsync``, then ``os.replace`` onto the destination (atomic on
+POSIX when source and destination share a filesystem, which a sibling
+always does).
+
+A crash between the write and the replace leaves only a stray
+``*.tmp`` file next to the destination; the destination itself is never
+observed in a partial state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Write ``text`` to ``path`` so readers see the old or new content,
+    never a prefix of the new one."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding=encoding) as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    obj: Any,
+    indent: int = 2,
+    sort_keys: bool = False,
+) -> None:
+    """Serialize ``obj`` as JSON and write it atomically."""
+    atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    )

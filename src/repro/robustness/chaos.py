@@ -1,0 +1,119 @@
+"""Deterministic fault injection for the worker-pool recovery paths.
+
+Testing crash recovery by luck -- run long enough and eventually a
+worker dies -- is worthless; every recovery path in
+:class:`repro.faults.sharding.ShardedFaultSimulator` must be exercisable
+from an ordinary pytest on demand.  A :class:`ChaosPlan` names, purely as
+a function of ``(dispatch, shard, attempt)``, which shard tasks should
+
+- **crash** (the worker calls ``os._exit``, indistinguishable from a
+  SIGKILL'd or OOM-killed worker),
+- **hang** (the worker sleeps past any configured shard timeout),
+- **corrupt** (the worker returns a payload that fails shard-result
+  validation), or
+- **error** (the task raises :class:`ChaosError`).
+
+Because the plan is a pure function of indices, an injected run is as
+reproducible as a clean one: the same plan against the same inputs
+produces the same :class:`~repro.robustness.degradation.DegradationReport`
+and -- since every path recovers -- the same simulation records.
+
+The parent decides *whether* to inject (it knows the attempt number);
+the worker merely executes the directive shipped with its task, so no
+cross-process state is needed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.faults.fault_sim import DetectionRecord
+from repro.faults.model import Fault
+
+#: Injection directives, in precedence order when a shard is named in
+#: several sets.
+CHAOS_ACTIONS = ("crash", "hang", "corrupt", "error")
+
+#: The obviously-foreign fault a corrupted shard smuggles into its
+#: return payload (never a member of any real shard).
+CORRUPT_FAULT = Fault(site="__chaos_corrupt__", value=1)
+
+
+class ChaosError(RuntimeError):
+    """The exception an ``error`` injection raises inside the worker."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic schedule of worker-pool failures.
+
+    Attributes:
+        crash_shards, hang_shards, corrupt_shards, error_shards: shard
+            indices to hit (precedence: crash > hang > corrupt > error).
+        dispatches: dispatch indices the plan applies to; ``None`` means
+            every dispatch of the run.
+        fire_attempts: inject only while ``attempt < fire_attempts``, so
+            with the default of 1 a retried shard succeeds -- set it
+            large to force retry exhaustion and the serial rescue path.
+        hang_seconds: how long a hung worker sleeps.  Pick it well above
+            the recovery policy's ``shard_timeout``; the parent kills the
+            pool long before the sleep finishes.
+    """
+
+    crash_shards: Tuple[int, ...] = ()
+    hang_shards: Tuple[int, ...] = ()
+    corrupt_shards: Tuple[int, ...] = ()
+    error_shards: Tuple[int, ...] = ()
+    dispatches: Optional[Tuple[int, ...]] = None
+    fire_attempts: int = 1
+    hang_seconds: float = 30.0
+
+    def action(
+        self, dispatch: int, shard: int, attempt: int
+    ) -> Optional[str]:
+        """The directive for this task, or ``None`` for a clean run."""
+        if self.dispatches is not None and dispatch not in self.dispatches:
+            return None
+        if attempt >= self.fire_attempts:
+            return None
+        if shard in self.crash_shards:
+            return "crash"
+        if shard in self.hang_shards:
+            return "hang"
+        if shard in self.corrupt_shards:
+            return "corrupt"
+        if shard in self.error_shards:
+            return "error"
+        return None
+
+
+def execute_injected(
+    action: Optional[str],
+    hang_seconds: float,
+    compute: Callable[[], Any],
+) -> Any:
+    """Run ``compute`` under an injection directive (worker side).
+
+    ``crash`` never returns; ``hang`` sleeps then completes normally
+    (the parent has long since torn the pool down); ``corrupt`` replaces
+    the real payload with one containing a foreign fault; ``error``
+    raises :class:`ChaosError`.
+    """
+    if action == "crash":
+        os._exit(17)
+    if action == "error":
+        raise ChaosError("injected worker failure")
+    if action == "hang":
+        time.sleep(hang_seconds)
+    result = compute()
+    if action == "corrupt":
+        corrupted: Dict[Fault, DetectionRecord] = {
+            CORRUPT_FAULT: DetectionRecord(
+                fault=CORRUPT_FAULT, test_index=-1, time_unit=-1, where="chaos"
+            )
+        }
+        return corrupted
+    return result

@@ -1,0 +1,256 @@
+"""Crash-safe journaling of Procedure 2 runs.
+
+Procedure 2 is the hours-long path: a greedy loop whose only state is
+the detected-fault set, the selected ``(I, D1)`` pairs, and the
+``(iteration, n_same_fc)`` cursor.  Because the schedule RNG is seeded
+by ``I`` (Procedure 1), every iteration is replayable from that state
+alone -- so a small journal makes any interrupted run resumable, and
+the resumed run is *byte-identical* to an uninterrupted one.
+
+Journal format (version 1): a JSONL file, one record per line.
+
+- ``header`` -- version, circuit name, the result-affecting config
+  (:meth:`BistConfig.to_dict`), ``n_sv``, the target-fault count and a
+  SHA-256 fingerprint of the target list.  Written once, atomically,
+  when the journal is created.
+- ``ts0`` -- the detection records of the initial test set, as
+  ``[fault_index, test_index, time_unit, where]`` rows (fault indices
+  point into the caller's target-fault list).
+- ``pair`` -- one selected ``(I, D1)`` pair with its
+  :class:`~repro.core.procedure2.PairResult` fields and detection rows.
+- ``cursor`` -- the ``(iteration, n_same_fc)`` state after an
+  iteration completed.
+- ``final`` -- the run finished (``complete``, ``iterations_run``).
+
+Crash safety is transactional at iteration granularity: an iteration's
+``pair`` lines and its ``cursor`` line are appended in a **single
+buffered write** followed by ``fsync``, so a crash can only truncate the
+tail of the file.  The reader treats a ``pair`` without a following
+``cursor`` (or any undecodable tail) as an uncommitted transaction and
+discards it; re-running that iteration from the committed state
+reproduces it exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.faults.model import Fault, fault_key
+
+#: Bump when a record's schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The journal is missing, unreadable, or structurally invalid."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The journal belongs to a different (circuit, config, targets)."""
+
+
+def fingerprint_faults(faults: Iterable[Fault]) -> str:
+    """Order-sensitive SHA-256 over a fault list.
+
+    Resume replays detection records as *indices* into the target list,
+    so the list's identity **and order** must match the original run.
+    """
+    digest = hashlib.sha256()
+    for f in faults:
+        digest.update(repr(fault_key(f)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How (and how often) a Procedure 2 run journals its progress.
+
+    Attributes:
+        path: the JSONL journal file.
+        every: commit granularity in iterations.  1 (default) journals
+            after every iteration; a larger value batches commits,
+            trading a wider redo window on crash for fewer ``fsync``
+            calls.  Any value yields byte-identical resumed results.
+        fsync: fsync after every commit (default).  Disabling is faster
+            but a power loss may drop committed-looking iterations;
+            resume correctness is unaffected.
+    """
+
+    path: Union[str, Path]
+    every: int = 1
+    fsync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("CheckpointPolicy.every must be >= 1")
+
+
+@dataclass
+class CheckpointState:
+    """The committed content of a journal, ready for replay."""
+
+    header: Dict[str, Any]
+    ts0: Optional[Dict[str, Any]] = None
+    pairs: List[Dict[str, Any]] = field(default_factory=list)
+    cursor: Tuple[int, int] = (0, 0)  # (iteration, n_same_fc)
+    final: Optional[Dict[str, Any]] = None
+
+    @property
+    def detected_rows(self) -> List[List[Any]]:
+        """All committed detection rows, in detection order."""
+        rows: List[List[Any]] = []
+        if self.ts0 is not None:
+            rows.extend(self.ts0["detected"])
+        for pair in self.pairs:
+            rows.extend(pair["detected"])
+        return rows
+
+
+def load_checkpoint(path: Union[str, Path]) -> CheckpointState:
+    """Parse a journal, discarding any uncommitted tail.
+
+    Raises :class:`CheckpointError` if the file is absent or its first
+    record is not a compatible header.  A truncated or garbage tail
+    (the expected outcome of a SIGKILL mid-write) is silently dropped
+    at the last committed transaction boundary.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint journal at {path}")
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: everything after is uncommitted
+            if not isinstance(record, dict) or "kind" not in record:
+                break
+            records.append(record)
+    if not records or records[0].get("kind") != "header":
+        raise CheckpointError(f"{path} is not a checkpoint journal")
+    header = records[0]
+    if header.get("version") != JOURNAL_VERSION:
+        raise CheckpointError(
+            f"{path} has journal version {header.get('version')!r}, "
+            f"this code reads version {JOURNAL_VERSION}"
+        )
+    state = CheckpointState(header=header)
+    pending_pairs: List[Dict[str, Any]] = []
+    for record in records[1:]:
+        kind = record["kind"]
+        if kind == "ts0":
+            state.ts0 = record
+        elif kind == "pair":
+            pending_pairs.append(record)
+        elif kind == "cursor":
+            # Commit point: the buffered pairs belong to this iteration.
+            state.pairs.extend(pending_pairs)
+            pending_pairs = []
+            state.cursor = (record["iteration"], record["n_same_fc"])
+        elif kind == "final":
+            state.pairs.extend(pending_pairs)
+            pending_pairs = []
+            state.final = record
+        # Unknown kinds are skipped: forward-compatible within a version.
+    return state
+
+
+class CheckpointWriter:
+    """Append-only journal writer with transactional iteration commits.
+
+    Created with a ``header`` for a fresh journal (the file is created
+    atomically with the header as its first line), or without one to
+    append to an existing journal on resume.
+    """
+
+    def __init__(
+        self,
+        policy: CheckpointPolicy,
+        header: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.policy = policy
+        self.path = Path(policy.path)
+        self._pending: List[str] = []
+        self._uncommitted_iterations = 0
+        if header is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            from repro.robustness.atomic import atomic_write_text
+
+            atomic_write_text(self.path, self._line(header))
+
+    @staticmethod
+    def _line(record: Dict[str, Any]) -> str:
+        return json.dumps(record, sort_keys=True) + "\n"
+
+    def _append(self, text: str) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            if self.policy.fsync:
+                os.fsync(fh.fileno())
+
+    def _flush_pending(self) -> None:
+        if self._pending:
+            self._append("".join(self._pending))
+            self._pending = []
+        self._uncommitted_iterations = 0
+
+    # -- records ---------------------------------------------------------
+    def write_ts0(self, detected_rows: Sequence[Sequence[Any]]) -> None:
+        """Journal the TS0 detections (always committed immediately)."""
+        self._append(
+            self._line({"kind": "ts0", "detected": [list(r) for r in detected_rows]})
+        )
+
+    def commit_iteration(
+        self,
+        iteration: int,
+        n_same_fc: int,
+        pair_records: Sequence[Dict[str, Any]],
+    ) -> None:
+        """Buffer one finished iteration; flush per ``policy.every``.
+
+        ``n_same_fc`` is the *post-iteration* value -- exactly what the
+        resumed loop needs to continue.
+        """
+        for record in pair_records:
+            self._pending.append(self._line(dict(record, kind="pair")))
+        self._pending.append(
+            self._line(
+                {"kind": "cursor", "iteration": iteration, "n_same_fc": n_same_fc}
+            )
+        )
+        self._uncommitted_iterations += 1
+        if self._uncommitted_iterations >= self.policy.every:
+            self._flush_pending()
+
+    def write_final(self, complete: bool, iterations_run: int) -> None:
+        self._pending.append(
+            self._line(
+                {
+                    "kind": "final",
+                    "complete": complete,
+                    "iterations_run": iterations_run,
+                }
+            )
+        )
+        self._flush_pending()
+
+    def close(self) -> None:
+        """Flush buffered committed iterations (e.g. on KeyboardInterrupt)."""
+        self._flush_pending()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,220 @@
+"""Deterministic fault-injection tests for worker-pool recovery.
+
+Every recovery path of :class:`ShardedFaultSimulator` -- worker crash,
+hung worker, corrupted shard payload, ordinary task exception, retry
+exhaustion, unconstructible pool -- is forced on demand with a
+:class:`ChaosPlan` and must end in the bit-exact serial result plus a
+structured :class:`DegradationReport` describing what happened.
+
+All tests here are marked ``chaos`` (run with ``-m chaos``); they fork
+real worker processes and some deliberately kill them.
+"""
+
+import json
+
+import pytest
+
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.core.config import BistConfig
+from repro.core.procedure2 import run_procedure2
+from repro.experiments.serialize import result_to_dict
+from repro.faults.collapse import collapse_faults
+from repro.faults.fault_sim import FaultSimulator
+from repro.faults.sharding import RecoveryPolicy, ShardedFaultSimulator
+from repro.robustness.chaos import ChaosError, ChaosPlan, execute_injected
+from repro.robustness.degradation import DegradationReport, ShardEvent
+from tests.test_fault_sim_grouped import mixed_tests
+
+pytestmark = pytest.mark.chaos
+
+#: No backoff sleeps and no timeout: chaos tests should be fast.
+FAST = dict(shard_timeout=None, max_retries=2, backoff_base=0.0)
+
+
+@pytest.fixture(scope="module")
+def rig():
+    """Circuit with > 128 faults (real multi-shard runs), plus oracle."""
+    circuit = synthesize(
+        SyntheticSpec(name="mini208", n_pi=10, n_po=1, n_ff=8, n_gates=96,
+                      seed=5)
+    )
+    sim = FaultSimulator(circuit)
+    faults = collapse_faults(circuit)
+    assert len(faults) > 128  # >= 3 words: at least 3 real shards
+    tests = mixed_tests(circuit, 11)
+    return circuit, sim, faults, tests, sim.simulate(tests, faults)
+
+
+class TestChaosPlan:
+    def test_action_precedence_and_gating(self):
+        plan = ChaosPlan(
+            crash_shards=(0,), hang_shards=(0, 1), corrupt_shards=(1, 2),
+            error_shards=(3,), dispatches=(0, 2), fire_attempts=2,
+        )
+        assert plan.action(0, 0, 0) == "crash"   # crash beats hang
+        assert plan.action(0, 1, 0) == "hang"    # hang beats corrupt
+        assert plan.action(0, 2, 0) == "corrupt"
+        assert plan.action(0, 3, 0) == "error"
+        assert plan.action(0, 4, 0) is None      # un-named shard
+        assert plan.action(1, 0, 0) is None      # dispatch not in plan
+        assert plan.action(2, 0, 1) == "crash"   # attempt 1 < fire_attempts
+        assert plan.action(2, 0, 2) is None      # attempts exhausted
+
+    def test_default_plan_is_every_dispatch_once(self):
+        plan = ChaosPlan(error_shards=(1,))
+        assert plan.action(7, 1, 0) == "error"
+        assert plan.action(7, 1, 1) is None
+
+    def test_execute_injected_error_and_corrupt(self):
+        with pytest.raises(ChaosError):
+            execute_injected("error", 0.0, lambda: {})
+        corrupted = execute_injected("corrupt", 0.0, lambda: {"real": 1})
+        assert "real" not in corrupted
+        (fault,) = corrupted
+        assert fault.site == "__chaos_corrupt__"
+        assert execute_injected(None, 0.0, lambda: 42) == 42
+
+
+class TestShardRecovery:
+    def test_worker_crash_recovers(self, rig):
+        _, sim, faults, tests, oracle = rig
+        chaos = ChaosPlan(crash_shards=(0,))
+        with ShardedFaultSimulator(
+            sim, 2, recovery=RecoveryPolicy(**FAST), chaos=chaos
+        ) as psim:
+            assert psim.simulate(tests, faults) == oracle
+            report = psim.degradation
+        assert report.degraded
+        assert any(e.kind == "crash" for e in report.events)
+        assert report.pool_respawns >= 1
+        # The retried shard succeeded in the pool; nothing went serial.
+        assert all(e.action == "retry" for e in report.events)
+
+    def test_hung_worker_times_out_and_recovers(self, rig):
+        _, sim, faults, tests, oracle = rig
+        chaos = ChaosPlan(hang_shards=(1,), hang_seconds=60.0)
+        recovery = RecoveryPolicy(
+            shard_timeout=1.0, max_retries=1, backoff_base=0.0
+        )
+        with ShardedFaultSimulator(
+            sim, 2, recovery=recovery, chaos=chaos
+        ) as psim:
+            assert psim.simulate(tests, faults) == oracle
+            report = psim.degradation
+        assert any(e.kind == "timeout" for e in report.events)
+        assert report.pool_respawns >= 1
+
+    def test_corrupted_shard_is_rejected_and_retried(self, rig):
+        _, sim, faults, tests, oracle = rig
+        chaos = ChaosPlan(corrupt_shards=(1,))
+        with ShardedFaultSimulator(
+            sim, 3, recovery=RecoveryPolicy(**FAST), chaos=chaos
+        ) as psim:
+            records = psim.simulate(tests, faults)
+            report = psim.degradation
+        assert records == oracle
+        assert not any(f.site == "__chaos_corrupt__" for f in records)
+        # Corruption never kills the pool: exactly one clean retry event.
+        assert [(e.kind, e.action) for e in report.events] == [
+            ("invalid-result", "retry")
+        ]
+        assert report.pool_respawns == 0
+
+    def test_task_error_is_retried(self, rig):
+        _, sim, faults, tests, oracle = rig
+        chaos = ChaosPlan(error_shards=(0, 2))
+        with ShardedFaultSimulator(
+            sim, 3, recovery=RecoveryPolicy(**FAST), chaos=chaos
+        ) as psim:
+            assert psim.simulate(tests, faults) == oracle
+            report = psim.degradation
+        assert sorted((e.shard, e.kind, e.action) for e in report.events) == [
+            (0, "error", "retry"),
+            (2, "error", "retry"),
+        ]
+
+    def test_retry_exhaustion_falls_back_to_serial_shard(self, rig):
+        _, sim, faults, tests, oracle = rig
+        # Fires on every attempt; one parallel retry allowed, then the
+        # shard must be rescued serially in the parent.
+        chaos = ChaosPlan(error_shards=(1,), fire_attempts=99)
+        recovery = RecoveryPolicy(
+            shard_timeout=None, max_retries=1, backoff_base=0.0
+        )
+        with ShardedFaultSimulator(
+            sim, 2, recovery=recovery, chaos=chaos
+        ) as psim:
+            assert psim.simulate(tests, faults) == oracle
+            report = psim.degradation
+        assert [(e.attempt, e.kind, e.action) for e in report.events] == [
+            (0, "error", "retry"),
+            (1, "error", "serial"),
+        ]
+
+    def test_chaos_run_is_reproducible(self, rig):
+        _, sim, faults, tests, oracle = rig
+        chaos = ChaosPlan(corrupt_shards=(0,), error_shards=(2,))
+
+        def one_run():
+            with ShardedFaultSimulator(
+                sim, 3, recovery=RecoveryPolicy(**FAST), chaos=chaos
+            ) as psim:
+                records = psim.simulate(tests, faults)
+                return records, psim.degradation.to_dict()
+
+        first_records, first_report = one_run()
+        second_records, second_report = one_run()
+        assert first_records == oracle == second_records
+        assert first_report == second_report
+
+
+class TestProcedure2UnderChaos:
+    def test_result_byte_identical_and_degradation_attached(self, rig):
+        circuit, _, faults, _, _ = rig
+        config = BistConfig(la=2, lb=4, n=2, n_same_fc=2, max_iterations=3)
+        clean = run_procedure2(circuit, config, faults)
+        assert clean.degradation is None
+
+        chaos = ChaosPlan(error_shards=(0,), dispatches=(0, 2))
+        sharded = FaultSimulator(circuit).sharded(
+            3, recovery=RecoveryPolicy(**FAST), chaos=chaos
+        )
+        with sharded:
+            injected = run_procedure2(
+                circuit, config, faults, simulator=sharded
+            )
+        assert injected.degradation is not None
+        assert injected.degradation.degraded
+        # The serialized result is execution-independent: no degradation
+        # key, and byte-identical to the clean serial run.
+        clean_blob = json.dumps(result_to_dict(clean))
+        injected_blob = json.dumps(result_to_dict(injected))
+        assert "degradation" not in result_to_dict(injected)
+        assert injected_blob == clean_blob
+
+
+class TestDegradationReport:
+    def test_report_structure(self):
+        report = DegradationReport()
+        assert not report.degraded
+        assert report.summary() == "no degradation"
+        report.record(0, 1, 0, "crash", "retry", "boom")
+        report.record(0, 1, 1, "crash", "serial")
+        report.pool_respawns = 2
+        assert report.degraded
+        assert report.counts() == {
+            ("crash", "retry"): 1, ("crash", "serial"): 1
+        }
+        data = report.to_dict()
+        assert data["degraded"] and data["pool_respawns"] == 2
+        assert data["events"][0] == {
+            "dispatch": 0, "shard": 1, "attempt": 0,
+            "kind": "crash", "action": "retry", "detail": "boom",
+        }
+        assert "crash -> serial" in report.render()
+        assert "2 pool respawn(s)" in report.summary()
+
+    def test_events_are_immutable(self):
+        event = ShardEvent(0, 0, 0, "timeout", "retry")
+        with pytest.raises(AttributeError):
+            event.kind = "crash"

@@ -86,6 +86,22 @@ class TestCommands:
         assert code == 0
         assert "complete" in out
 
+    def test_run_checkpoint_and_resume(self, tmp_path, capsys):
+        journal = tmp_path / "s27.journal"
+        argv = ["run", "s27", "--la", "4", "--lb", "8", "--n", "8",
+                "--checkpoint", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        # Resuming a finished journal replays it to identical output.
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_resume_requires_checkpoint(self, capsys):
+        code = main(["run", "s27", "--resume"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
     def test_first_complete(self, capsys):
         code = main(["first-complete", "s27", "--max-combos", "4"])
         assert code == 0

@@ -132,13 +132,7 @@ class TestGracefulDegradation:
     def test_pool_failure_falls_back_to_serial(self, medium_synth, monkeypatch):
         class BrokenPool:
             def __init__(self, *a, **k):
-                pass
-
-            def map_method(self, *a, **k):
-                raise RuntimeError("worker died")
-
-            def close(self):
-                pass
+                raise OSError("fork failed")
 
         monkeypatch.setattr(sharding, "SimulatorPool", BrokenPool)
         sim = FaultSimulator(medium_synth)
@@ -146,14 +140,22 @@ class TestGracefulDegradation:
         assert len(faults) > 64
         tests = mixed_tests(medium_synth, 11)
         with ShardedFaultSimulator(sim, 2) as psim:
-            with pytest.warns(RuntimeWarning, match="falling back"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # no more RuntimeWarning API
                 records = psim.simulate(tests, faults)
             assert records == sim.simulate(tests, faults)
-            # After a failure the front-end stays serial, silently.
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")
-                again = psim.simulate(tests, faults)
+            # The failure is structured, not a warning: one
+            # pool-unavailable event per pending shard, resolved serially.
+            assert psim.degradation.degraded
+            events = psim.degradation.events
+            assert {e.kind for e in events} == {"pool-unavailable"}
+            assert {e.action for e in events} == {"serial"}
+            assert len(events) == 2
+            # After a pool-level failure the front-end stays serial,
+            # without growing the report further.
+            again = psim.simulate(tests, faults)
             assert again == records
+            assert len(psim.degradation.events) == 2
 
     def test_ppsfp_failure_falls_back(self, s27, monkeypatch):
         class BrokenPool:

@@ -1,0 +1,145 @@
+"""Crash-safety of the experiment runner: argparse, atomic writes,
+structured failure reporting, and manifest-based resume."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.robustness.atomic import atomic_write_json, atomic_write_text
+
+
+@pytest.fixture
+def fake_batch(monkeypatch):
+    """Replace the expensive sections with counted stubs.
+
+    Returns the per-section call-count dict; ``boom`` always raises.
+    """
+    calls = {"good": 0, "boom": 0, "tail": 0}
+
+    def specs(full, out_dir):
+        def run(name):
+            calls[name] += 1
+            if name == "boom":
+                raise ValueError("section exploded")
+            return f"{name} output"
+
+        return [(name, lambda name=name: run(name)) for name in calls]
+
+    monkeypatch.setattr(runner, "_section_specs", specs)
+    monkeypatch.setattr(runner, "lint_preflight", lambda names: "stub ok")
+    return calls
+
+
+class TestArgparse:
+    def test_bad_flags_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            runner.main(["--out"])  # missing value
+        assert exc.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            runner.main(["--no-such-flag"])
+
+    def test_help_mentions_resume(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            runner.main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--resume" in out and "--jobs" in out
+
+
+class TestFailureReporting:
+    def test_failures_json_and_exit_code(self, fake_batch, tmp_path, capsys):
+        rc = runner.main(["--out", str(tmp_path)])
+        assert rc == 1
+        assert "boom" in capsys.readouterr().err
+        # The batch kept going past the failure.
+        assert fake_batch == {"good": 1, "boom": 1, "tail": 1}
+        failures = json.loads((tmp_path / "failures.json").read_text())
+        assert len(failures) == 1
+        entry = failures[0]
+        assert entry["section"] == "boom"
+        assert entry["exception_type"] == "ValueError"
+        assert entry["message"] == "section exploded"
+        assert "ValueError: section exploded" in entry["traceback"]
+        assert entry["elapsed"] >= 0
+        # The section file records the failure inline.
+        assert "FAILED: ValueError" in (tmp_path / "boom.txt").read_text()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["sections"]["boom"]["status"] == "failed"
+        assert manifest["sections"]["good"]["status"] == "ok"
+
+    def test_clean_batch_exits_zero(self, fake_batch, monkeypatch, tmp_path):
+        def specs(full, out_dir):
+            return [("good", lambda: "fine"), ("tail", lambda: "fine")]
+
+        monkeypatch.setattr(runner, "_section_specs", specs)
+        rc = runner.main(["--out", str(tmp_path)])
+        assert rc == 0
+        assert json.loads((tmp_path / "failures.json").read_text()) == []
+        assert (tmp_path / "all_experiments.txt").exists()
+
+
+class TestResume:
+    def test_resume_skips_ok_and_reruns_failed(self, fake_batch, tmp_path):
+        assert runner.main(["--out", str(tmp_path)]) == 1
+        assert fake_batch == {"good": 1, "boom": 1, "tail": 1}
+        # Resume: ok sections are read back from disk, the failed one
+        # is re-run (and fails again).
+        assert runner.main(["--out", str(tmp_path), "--resume"]) == 1
+        assert fake_batch == {"good": 1, "boom": 2, "tail": 1}
+        combined = (tmp_path / "all_experiments.txt").read_text()
+        assert "good output" in combined and "tail output" in combined
+
+    def test_without_resume_everything_reruns(self, fake_batch, tmp_path):
+        runner.main(["--out", str(tmp_path)])
+        runner.main(["--out", str(tmp_path)])
+        assert fake_batch == {"good": 2, "boom": 2, "tail": 2}
+
+    def test_mismatched_manifest_is_ignored(self, fake_batch, tmp_path):
+        runner.main(["--out", str(tmp_path)])
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["version"] = 999
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        runner.main(["--out", str(tmp_path), "--resume"])
+        assert fake_batch["good"] == 2  # not resumed: version mismatch
+
+    def test_full_flag_invalidates_manifest(self, fake_batch, tmp_path):
+        runner.main(["--out", str(tmp_path)])
+        # A --full batch must not trust a quick batch's manifest.
+        runner.main(["--out", str(tmp_path), "--resume", "--full"])
+        assert fake_batch["good"] == 2
+
+    def test_corrupt_manifest_is_ignored(self, fake_batch, tmp_path):
+        runner.main(["--out", str(tmp_path)])
+        (tmp_path / "manifest.json").write_text("{torn")
+        runner.main(["--out", str(tmp_path), "--resume"])
+        assert fake_batch["good"] == 2
+
+    def test_resume_requires_section_file(self, fake_batch, tmp_path):
+        runner.main(["--out", str(tmp_path)])
+        (tmp_path / "good.txt").unlink()  # manifest says ok, file gone
+        runner.main(["--out", str(tmp_path), "--resume"])
+        assert fake_batch["good"] == 2
+
+
+class TestAtomicWrites:
+    def test_overwrite_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_json_helper_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": [1, 2]})
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+        assert path.read_text().endswith("\n")
+
+    def test_failed_write_preserves_previous(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "stable")
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # not a str: write fails
+        assert path.read_text() == "stable"

@@ -11,7 +11,8 @@ each covered by a rule:
   (``np.random.Generator(np.random.PCG64(seed))``) are fine.
 - ``DET002`` **wall-clock** -- ``time.time()`` / ``time.clock()``
   inside the reproducibility-critical packages (``core/``, ``faults/``,
-  ``simulation/``).  Use ``time.perf_counter()`` for section timing;
+  ``simulation/``, ``robustness/``).  Use ``time.perf_counter()`` for
+  section timing and deadlines;
   timing in ``experiments/`` (e.g. ``runner.py``) is allowlisted
   because those paths never feed results.
 - ``DET003`` **set-iteration** -- iterating a set (or feeding one to
@@ -39,7 +40,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 #: Path components whose files must be free of wall-clock reads.
-CRITICAL_PARTS = {"core", "faults", "simulation"}
+CRITICAL_PARTS = {"core", "faults", "simulation", "robustness"}
 
 #: Module-level functions of stdlib ``random`` that use the hidden
 #: global generator.
