@@ -12,73 +12,339 @@ The ``.bench`` dialect accepted here is the common ISCAS-89/ITC-99 one::
 Gate names are case-insensitive; ``INV``/``BUFF`` aliases are accepted.
 Nets may be used before they are defined (forward references), as is usual
 in distributed benchmark files.
+
+The parser is the trust boundary of the ingestion pipeline and honours a
+strict contract, fuzzed continuously by :mod:`repro.fuzz`:
+
+    ``parse_bench`` either returns a :class:`Circuit` with **no**
+    ERROR-severity structural lint findings, or raises
+    :class:`BenchParseError` carrying *every* problem found (stable
+    ``E###`` codes, line and column context) -- never a partial circuit,
+    never a bare ``ValueError``/``KeyError`` from deeper layers.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.circuit.levelize import CombinationalCycleError, levelize
 from repro.circuit.library import BENCH_NAMES, GateType
 from repro.circuit.netlist import Circuit
 
-_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$", re.IGNORECASE)
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]*)\s*\)\s*$", re.IGNORECASE)
 _ASSIGN_RE = re.compile(
     r"^([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)\s*$"
 )
+#: Net names: anything without whitespace or ``.bench`` metacharacters.
+_NAME_RE = re.compile(r"^[^\s(),=#]+$")
+
+#: Stable parse-error codes (documented in docs/fuzzing.md).
+E_SYNTAX = "E001"          # unrecognized statement
+E_UNKNOWN_GATE = "E002"    # unknown gate/function name
+E_ARITY = "E003"           # wrong number of gate or DFF inputs
+E_DUP_INPUT = "E004"       # duplicate INPUT declaration
+E_DUP_OUTPUT = "E005"      # duplicate OUTPUT declaration
+E_REDEFINED = "E006"       # net driven by more than one statement
+E_UNDRIVEN = "E007"        # net referenced but never driven
+E_STRUCTURAL = "E008"      # self-loop / combinational cycle
+E_EMPTY = "E009"           # no statements at all
+E_BAD_NAME = "E010"        # net name contains metacharacters
+E_LEGACY = "E000"          # legacy constructor, no code supplied
+
+
+@dataclass(frozen=True)
+class BenchParseIssue:
+    """One problem found while parsing, with stable code and location.
+
+    ``lineno``/``column`` are 1-based; 0 means file-level / unknown.
+    """
+
+    code: str
+    lineno: int
+    message: str
+    column: int = 0
+    token: str = ""
+
+    def render(self) -> str:
+        where = f"line {self.lineno}" if self.lineno else "file"
+        if self.column:
+            where += f", col {self.column}"
+        return f"{where}: [{self.code}] {self.message}"
 
 
 class BenchParseError(ValueError):
-    """Raised on malformed ``.bench`` input, with a line number."""
+    """Raised on malformed ``.bench`` input.
 
-    def __init__(self, lineno: int, message: str) -> None:
-        super().__init__(f"line {lineno}: {message}")
-        self.lineno = lineno
+    Carries every issue found in the file (the parser recovers and keeps
+    scanning instead of stopping at the first problem); ``issues`` holds
+    them in file order and ``lineno`` points at the first one for
+    backward compatibility.
+    """
+
+    def __init__(
+        self,
+        issues: Union[Sequence[BenchParseIssue], int],
+        message: Optional[str] = None,
+    ) -> None:
+        if isinstance(issues, int):  # legacy (lineno, message) signature
+            issues = [
+                BenchParseIssue(code=E_LEGACY, lineno=issues, message=message or "")
+            ]
+        self.issues: List[BenchParseIssue] = list(issues)
+        self.lineno = self.issues[0].lineno if self.issues else 0
+        super().__init__("\n".join(i.render() for i in self.issues))
+
+    @property
+    def codes(self) -> List[str]:
+        """The issue codes in file order (duplicates preserved)."""
+        return [i.code for i in self.issues]
+
+
+@dataclass
+class _Collector:
+    """Accumulates issues so one parse reports everything at once."""
+
+    issues: List[BenchParseIssue] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        lineno: int,
+        message: str,
+        raw: str = "",
+        token: str = "",
+    ) -> None:
+        column = 0
+        if token and raw:
+            pos = raw.find(token)
+            if pos >= 0:
+                column = pos + 1
+        self.issues.append(
+            BenchParseIssue(
+                code=code, lineno=lineno, message=message,
+                column=column, token=token,
+            )
+        )
+
+    def raise_if_any(self) -> None:
+        if self.issues:
+            raise BenchParseError(
+                sorted(self.issues, key=lambda i: (i.lineno, i.column))
+            )
+
+
+def _check_name(
+    errors: _Collector, lineno: int, raw: str, token: str, role: str
+) -> bool:
+    if _NAME_RE.match(token):
+        return True
+    errors.add(
+        E_BAD_NAME, lineno,
+        f"invalid {role} name {token!r} (whitespace and '(),=#' are not "
+        f"allowed in net names)",
+        raw=raw, token=token,
+    )
+    return False
 
 
 def parse_bench(text: str, name: str = "bench") -> Circuit:
     """Parse ``.bench`` source text into a :class:`Circuit`.
 
     Flip-flops appear in the scan chain in file order, which is the
-    convention used by the rest of the library.
+    convention used by the rest of the library.  A UTF-8 BOM, CRLF line
+    endings, and trailing whitespace are tolerated; everything else that
+    is malformed raises one :class:`BenchParseError` listing all issues.
     """
-    circuit = Circuit(name)
-    pending_gates: List[Tuple[int, str, GateType, Tuple[str, ...]]] = []
+    if text.startswith("\ufeff"):
+        text = text[1:]
+
+    errors = _Collector()
+    # Parsed statements, with source context for diagnostics.
+    inputs: List[Tuple[int, str]] = []
+    outputs: List[Tuple[int, str, str]] = []  # (lineno, raw, net)
+    flops: List[Tuple[int, str, str, str]] = []  # (lineno, raw, q, d)
+    gates: List[Tuple[int, str, str, GateType, Tuple[str, ...]]] = []
+    #: first driver of each net: net -> (lineno, kind)
+    drivers: Dict[str, Tuple[int, str]] = {}
+    #: first *read* of each net: net -> (lineno, raw, consumer description)
+    reads: Dict[str, Tuple[int, str, str]] = {}
+    declared_inputs: Dict[str, int] = {}
+    declared_outputs: Dict[str, int] = {}
+    saw_statement = False
+
+    def claim_driver(lineno: int, raw: str, net: str, kind: str) -> bool:
+        prior = drivers.get(net)
+        if prior is None:
+            drivers[net] = (lineno, kind)
+            return True
+        errors.add(
+            E_REDEFINED, lineno,
+            f"net {net} is redefined (already driven by {prior[1]} "
+            f"on line {prior[0]})",
+            raw=raw, token=net,
+        )
+        return False
+
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
+        saw_statement = True
         decl = _DECL_RE.match(line)
         if decl:
             kind, net = decl.group(1).upper(), decl.group(2)
+            if not net:
+                errors.add(
+                    E_SYNTAX, lineno,
+                    f"{kind} declaration names no net", raw=raw,
+                )
+                continue
+            if not _check_name(errors, lineno, raw, net, "net"):
+                continue
             if kind == "INPUT":
-                circuit.add_input(net)
+                if net in declared_inputs:
+                    errors.add(
+                        E_DUP_INPUT, lineno,
+                        f"duplicate INPUT declaration: {net} (first on "
+                        f"line {declared_inputs[net]})",
+                        raw=raw, token=net,
+                    )
+                    continue
+                declared_inputs[net] = lineno
+                if claim_driver(lineno, raw, net, "INPUT"):
+                    inputs.append((lineno, net))
             else:
-                circuit.add_output(net)
+                if net in declared_outputs:
+                    errors.add(
+                        E_DUP_OUTPUT, lineno,
+                        f"duplicate OUTPUT declaration: {net} (first on "
+                        f"line {declared_outputs[net]})",
+                        raw=raw, token=net,
+                    )
+                    continue
+                declared_outputs[net] = lineno
+                outputs.append((lineno, raw, net))
+                reads.setdefault(net, (lineno, raw, "OUTPUT declaration"))
             continue
         assign = _ASSIGN_RE.match(line)
         if not assign:
-            raise BenchParseError(lineno, f"unrecognized statement: {raw.strip()!r}")
+            errors.add(
+                E_SYNTAX, lineno,
+                f"unrecognized statement: {line!r}", raw=raw,
+            )
+            continue
         output, func, arglist = assign.groups()
+        if not _check_name(errors, lineno, raw, output, "net"):
+            continue
         func_upper = func.upper()
-        args = tuple(a.strip() for a in arglist.split(",") if a.strip())
+        raw_args = [a.strip() for a in arglist.split(",")] if arglist else []
+        args = tuple(a for a in raw_args if a)
+        if len(args) != len(raw_args):
+            errors.add(
+                E_SYNTAX, lineno,
+                f"empty argument in {func}(...) list", raw=raw,
+            )
+            continue
+        if not all(
+            _check_name(errors, lineno, raw, a, "net") for a in args
+        ):
+            continue
         if func_upper == "DFF":
             if len(args) != 1:
-                raise BenchParseError(lineno, f"DFF must have 1 input, got {len(args)}")
-            circuit.add_flop(q=output, d=args[0])
+                errors.add(
+                    E_ARITY, lineno,
+                    f"DFF must have 1 input, got {len(args)}",
+                    raw=raw, token=func,
+                )
+                continue
+            if claim_driver(lineno, raw, output, "DFF"):
+                flops.append((lineno, raw, output, args[0]))
+                reads.setdefault(
+                    args[0], (lineno, raw, f"flop {output}")
+                )
         elif func_upper in BENCH_NAMES:
             gtype = BENCH_NAMES[func_upper]
-            # Defer gate insertion so error messages keep the line number but
-            # duplicate-driver detection happens through the Circuit API.
-            pending_gates.append((lineno, output, gtype, args))
+            n = len(args)
+            if n < gtype.min_arity or n > gtype.max_arity:
+                errors.add(
+                    E_ARITY, lineno,
+                    f"{func_upper} takes {gtype.min_arity}"
+                    + (
+                        f"..{gtype.max_arity}"
+                        if gtype.max_arity != gtype.min_arity
+                        else ""
+                    )
+                    + f" input(s), got {n}",
+                    raw=raw, token=func,
+                )
+                continue
+            if claim_driver(lineno, raw, output, f"gate {func_upper}"):
+                gates.append((lineno, raw, output, gtype, args))
+                for a in args:
+                    reads.setdefault(a, (lineno, raw, f"gate {output}"))
         else:
-            raise BenchParseError(lineno, f"unknown gate type: {func}")
-    for lineno, output, gtype, args in pending_gates:
-        try:
-            circuit.add_gate(output, gtype, args)
-        except ValueError as exc:
-            raise BenchParseError(lineno, str(exc)) from exc
+            errors.add(
+                E_UNKNOWN_GATE, lineno,
+                f"unknown gate type: {func}", raw=raw, token=func,
+            )
+
+    if not saw_statement:
+        errors.add(E_EMPTY, 0, "empty netlist: no statements found")
+        errors.raise_if_any()
+
+    # Every referenced net must have a driver somewhere in the file
+    # (forward references are fine; dangling *references* are not).
+    for net, (lineno, raw, consumer) in reads.items():
+        if net not in drivers:
+            errors.add(
+                E_UNDRIVEN, lineno,
+                f"{consumer} reads undriven net {net}",
+                raw=raw, token=net,
+            )
+
+    if not outputs and not flops:
+        errors.add(
+            E_STRUCTURAL, 0,
+            "circuit has no observable points (no OUTPUTs, no flops)",
+        )
+
+    # Self-loops are cheap to catch with exact line context.
+    for lineno, raw, output, gtype, args in gates:
+        if output in args:
+            errors.add(
+                E_STRUCTURAL, lineno,
+                f"gate {output} feeds its own input (self-loop)",
+                raw=raw, token=output,
+            )
+
+    errors.raise_if_any()
+
+    circuit = Circuit(name)
+    for _lineno, net in inputs:
+        circuit.add_input(net)
+    for _lineno, _raw, q, d in flops:
+        circuit.add_flop(q=q, d=d)
+    for _lineno, _raw, output, gtype, args in gates:
+        circuit.add_gate(output, gtype, args)
+    for _lineno, _raw, net in outputs:
+        circuit.add_output(net)
+
+    # Combinational cycles span statements, so they are diagnosed on the
+    # assembled circuit; the earliest member gate's line anchors the report.
+    try:
+        levelize(circuit)
+    except CombinationalCycleError as exc:
+        line_of = {output: lineno for lineno, _raw, output, _g, _a in gates}
+        members = sorted(exc.members)
+        anchor = min((line_of.get(m, 0) for m in members), default=0)
+        errors.add(
+            E_STRUCTURAL, anchor,
+            f"combinational cycle through: {', '.join(members)}",
+        )
+    errors.raise_if_any()
     return circuit
 
 
@@ -92,7 +358,9 @@ def write_bench(circuit: Circuit) -> str:
     """Serialize a :class:`Circuit` back to ``.bench`` text.
 
     Round-trips with :func:`parse_bench` (modulo comments/whitespace):
-    flip-flop and gate order is preserved so scan-chain order survives.
+    flip-flop and gate order is preserved so scan-chain order survives,
+    and re-serializing the reparsed circuit reproduces the text byte for
+    byte (the fuzzer's fixpoint oracle).
     """
     lines = [f"# {circuit.name}"]
     for net in circuit.inputs:

@@ -197,6 +197,22 @@ class Circuit:
         out._flop_by_q = {f.q: f for f in out._flops}
         return out
 
+    def structurally_equal(self, other: "Circuit") -> bool:
+        """True if both circuits have identical structure.
+
+        Compares interface order (PIs, POs), scan-chain order (flops,
+        including D connections), and the gate map (type + ordered
+        inputs per output).  Names are compared exactly; the circuit
+        ``name`` itself is ignored.  This is the round-trip oracle's
+        definition of "the same circuit".
+        """
+        return (
+            self._inputs == other._inputs
+            and self._outputs == other._outputs
+            and self._flops == other._flops
+            and self._gates == other._gates
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Circuit({self.name!r}, pi={self.num_inputs}, po={self.num_outputs},"

@@ -105,23 +105,30 @@ def parse_verilog(
             continue
         raise VerilogParseError(f"unrecognized statement: {stmt!r}")
 
-    for prim, ports in instances:
-        if prim == "dff":
-            ports = tuple(p for p in ports if p not in clocks)
-            if len(ports) != 2:
-                raise VerilogParseError(
-                    f"dff needs (Q, D[, clk]) ports, got {ports}"
-                )
-            circuit.add_flop(q=ports[0], d=ports[1])
-        elif prim in _PRIMITIVES:
-            if len(ports) < 2:
-                raise VerilogParseError(f"{prim} needs >= 2 ports")
-            circuit.add_gate(ports[0], _PRIMITIVES[prim], ports[1:])
-        else:
-            raise VerilogParseError(f"unknown primitive: {prim}")
+    try:
+        for prim, ports in instances:
+            if prim == "dff":
+                ports = tuple(p for p in ports if p not in clocks)
+                if len(ports) != 2:
+                    raise VerilogParseError(
+                        f"dff needs (Q, D[, clk]) ports, got {ports}"
+                    )
+                circuit.add_flop(q=ports[0], d=ports[1])
+            elif prim in _PRIMITIVES:
+                if len(ports) < 2:
+                    raise VerilogParseError(f"{prim} needs >= 2 ports")
+                circuit.add_gate(ports[0], _PRIMITIVES[prim], ports[1:])
+            else:
+                raise VerilogParseError(f"unknown primitive: {prim}")
 
-    for net in outputs:
-        circuit.add_output(net)
+        for net in outputs:
+            circuit.add_output(net)
+    except ValueError as exc:
+        # Circuit-construction failures (duplicate drivers, arity) are
+        # still *parse* failures from the caller's point of view.
+        if isinstance(exc, VerilogParseError):
+            raise
+        raise VerilogParseError(str(exc)) from exc
     return circuit
 
 
@@ -133,13 +140,21 @@ def write_verilog(circuit: Circuit, clock: str = "clk") -> str:
     """Serialize a :class:`Circuit` as structural Verilog.
 
     Round-trips with :func:`parse_verilog` (clock added iff the circuit
-    has flip-flops).
+    has flip-flops).  If a circuit net already uses the requested clock
+    name, a fresh ``<clock>_N`` name is chosen so the port list never
+    contains duplicates.
     """
     has_ffs = circuit.num_state_vars > 0
+    taken = set(circuit.signals()) | set(circuit.outputs)
+    n = 0
+    while clock in taken:
+        clock = f"clk_{n}"
+        n += 1
     ports = circuit.inputs + circuit.outputs + ([clock] if has_ffs else [])
     lines = [f"module {circuit.name} ({', '.join(ports)});"]
     ins = circuit.inputs + ([clock] if has_ffs else [])
-    lines.append(f"  input {', '.join(ins)};")
+    if ins:
+        lines.append(f"  input {', '.join(ins)};")
     if circuit.outputs:
         lines.append(f"  output {', '.join(circuit.outputs)};")
 

@@ -24,22 +24,54 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.bench_circuits import available_circuits, circuit_info, load_circuit
-from repro.circuit.bench_parser import parse_bench_file, write_bench_file
+from repro.circuit.bench_parser import (
+    BenchParseError,
+    parse_bench_file,
+    write_bench_file,
+)
 from repro.circuit.netlist import Circuit
 from repro.circuit.stats import circuit_stats
-from repro.circuit.verilog import parse_verilog_file, write_verilog_file
+from repro.circuit.verilog import (
+    VerilogParseError,
+    parse_verilog_file,
+    write_verilog_file,
+)
 from repro.core.config import BistConfig, D1_DECREASING, D1_INCREASING
 from repro.core.session import LimitedScanBist
 
 
+class IngestionError(KeyError):
+    """A netlist could not be loaded; the message is user-presentable.
+
+    Subclasses ``KeyError`` so existing callers that treated an unknown
+    benchmark name as a lookup failure keep working.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes the message; we want it verbatim.
+        return str(self.args[0]) if self.args else ""
+
+
 def resolve_circuit(spec: str) -> Circuit:
-    """A catalog name, or a path ending in .bench / .v."""
+    """A catalog name, or a path ending in .bench / .v.
+
+    This is the CLI's ingestion boundary: every malformed input surfaces
+    as :class:`IngestionError` with the parser's full diagnostic list,
+    never as a raw traceback.
+    """
     path = Path(spec)
-    if path.suffix == ".bench" and path.exists():
-        return parse_bench_file(path)
-    if path.suffix in (".v", ".sv") and path.exists():
-        return parse_verilog_file(path)
-    return load_circuit(spec)
+    try:
+        if path.suffix == ".bench" and path.exists():
+            return parse_bench_file(path)
+        if path.suffix in (".v", ".sv") and path.exists():
+            return parse_verilog_file(path)
+        return load_circuit(spec)
+    except (BenchParseError, VerilogParseError) as exc:
+        raise IngestionError(f"cannot parse {spec}:\n{exc}") from exc
+    except KeyError as exc:
+        raise IngestionError(str(exc.args[0]) if exc.args else str(exc)) from exc
+    except (OSError, UnicodeDecodeError) as exc:
+        raise IngestionError(f"cannot read {spec}: {exc}") from exc
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -88,7 +120,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.all:
         targets = [(name, load_circuit(name)) for name in available_circuits()]
     elif args.circuit:
-        targets = [(args.circuit, resolve_circuit(args.circuit))]
+        # A netlist that does not even parse is the hardest lint failure;
+        # report the parse diagnostics in place of a lint report.
+        try:
+            targets = [(args.circuit, resolve_circuit(args.circuit))]
+        except IngestionError as exc:
+            print(f"{args.circuit}: {exc}")
+            return 1
     else:
         print("lint: give a circuit or --all", file=sys.stderr)
         return 2
@@ -198,6 +236,43 @@ def cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz.corpus import load_corpus, replay_entry
+    from repro.fuzz.runner import FuzzConfig, run_fuzz
+
+    if args.replay:
+        entries = load_corpus(args.replay)
+        if not entries:
+            print(f"fuzz: no corpus entries under {args.replay}",
+                  file=sys.stderr)
+            return 2
+        failures = 0
+        for entry in entries:
+            problem = replay_entry(entry)
+            status = "ok" if problem is None else f"FAIL ({problem})"
+            print(f"{entry.path.name}: {status}")
+            failures += problem is not None
+        return 1 if failures else 0
+
+    config = FuzzConfig(
+        budget=args.budget,
+        seed=args.seed,
+        timeout_s=args.timeout,
+        mem_mb=args.mem_mb,
+        sandbox=not args.no_sandbox,
+        minimize=args.minimize,
+        corpus_dir=args.corpus,
+    )
+    report = run_fuzz(config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
 def cmd_convert(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.source)
     dest = Path(args.dest)
@@ -289,6 +364,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true")
     p.set_defaults(func=cmd_table)
 
+    p = sub.add_parser(
+        "fuzz",
+        help="deterministic fuzzing of the netlist ingestion pipeline",
+    )
+    p.add_argument("--budget", type=int, default=200,
+                   help="number of fuzz cases (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; same seed => byte-identical "
+                        "case list and report")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                   help="per-case wall-clock budget (default 10s)")
+    p.add_argument("--mem-mb", type=int, default=1024,
+                   help="per-case address-space budget in MiB (default 1024)")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="write each unique failure (minimized if "
+                        "--minimize) as a corpus file under DIR")
+    p.add_argument("--minimize", action="store_true",
+                   help="delta-debug each unique failure down to a "
+                        "minimal reproducer")
+    p.add_argument("--replay", metavar="DIR",
+                   help="replay a regression corpus instead of fuzzing")
+    p.add_argument("--no-sandbox", action="store_true",
+                   help="run cases in-process (no timeout/memory guard); "
+                        "faster, for trusted case sources")
+    p.add_argument("--json", action="store_true",
+                   help="emit the triage report as JSON")
+    p.set_defaults(func=cmd_fuzz)
+
     p = sub.add_parser("convert", help="convert between .bench and .v")
     p.add_argument("source")
     p.add_argument("dest")
@@ -299,7 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except IngestionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

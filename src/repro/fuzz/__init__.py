@@ -1,0 +1,53 @@
+"""Deterministic fuzzing and triage of the netlist ingestion pipeline.
+
+The subsystem has five layers, each usable on its own:
+
+- :mod:`repro.fuzz.generator` -- seeded random ``.bench`` sources
+  (parameterized interface/depth/fanout, optionally biased toward
+  lint-hard shapes: self-loops, cycles, dead logic, undriven nets),
+- :mod:`repro.fuzz.mutator` -- a grammar-aware ``.bench`` mutator
+  (token, line, structural, and encoding-level mutations),
+- :mod:`repro.fuzz.oracles` -- metamorphic and differential checks run
+  on every case (parse contract, write/parse fixpoint, event-sim vs
+  compiled-sim equivalence, scan and cost-model invariants),
+- :mod:`repro.fuzz.sandbox` + :mod:`repro.fuzz.runner` -- per-case
+  wall-clock and memory budgets enforced in a child process, with
+  graceful :class:`~repro.fuzz.runner.FuzzCaseResult` reporting,
+- :mod:`repro.fuzz.triage` + :mod:`repro.fuzz.corpus` -- crash
+  deduplication by stable stack fingerprint, delta-debugging
+  minimization, and the versioned regression corpus under
+  ``tests/corpus/`` that replays in tier-1.
+
+Everything is deterministic from one master seed: the same seed
+produces a byte-identical case list and triage report.
+"""
+
+from repro.fuzz.generator import GeneratorSpace, generate_bench
+from repro.fuzz.mutator import mutate_bench
+from repro.fuzz.oracles import OracleOutcome, run_oracles
+from repro.fuzz.runner import (
+    FuzzCase,
+    FuzzCaseResult,
+    FuzzConfig,
+    FuzzReport,
+    build_cases,
+    run_fuzz,
+)
+from repro.fuzz.triage import CrashBucket, fingerprint_exception, minimize_bench
+
+__all__ = [
+    "GeneratorSpace",
+    "generate_bench",
+    "mutate_bench",
+    "OracleOutcome",
+    "run_oracles",
+    "FuzzCase",
+    "FuzzCaseResult",
+    "FuzzConfig",
+    "FuzzReport",
+    "build_cases",
+    "run_fuzz",
+    "CrashBucket",
+    "fingerprint_exception",
+    "minimize_bench",
+]

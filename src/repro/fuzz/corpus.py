@@ -1,0 +1,163 @@
+"""Versioned regression corpus of minimized fuzz findings.
+
+Every crasher or oracle violation found by the fuzzer is minimized and
+checked in under ``tests/corpus/`` with a machine-readable header::
+
+    # fuzz-corpus v1
+    # expect: reject E006 E007
+    # fingerprint: 3f2a9c11d0be
+    # oracle: parse-contract
+    # found: seed=0 case=17
+    a = NOT(a)
+    ...
+
+``expect`` records the *correct post-fix* behavior: ``reject`` with the
+given error codes, or ``pass``.  Header lines are ``.bench`` comments,
+so the whole file feeds straight into the parser on replay; the tier-1
+suite replays every entry (tests/test_corpus_replay.py), which is what
+turns each fuzzing discovery into a permanent regression test.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.fuzz.oracles import run_oracles
+
+FORMAT_LINE = "# fuzz-corpus v1"
+_EXPECT_RE = re.compile(r"^#\s*expect:\s*(pass|reject)((?:\s+E\d{3})*)\s*$")
+_FIELD_RE = re.compile(r"^#\s*(fingerprint|oracle|found):\s*(.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus file: the input and its expected disposition."""
+
+    path: Path
+    text: str                 # full file content (header included)
+    expect: str               # 'pass' | 'reject'
+    expect_codes: Tuple[str, ...]
+    fingerprint: str = ""
+    oracle: str = ""
+    found: str = ""
+
+
+class CorpusFormatError(ValueError):
+    """A corpus file is missing or mangles its v1 header."""
+
+
+def load_entry(path: Union[str, Path]) -> CorpusEntry:
+    path = Path(path)
+    text = path.read_text()
+    lines = text.splitlines()
+    first = lines[0].lstrip("\ufeff").strip() if lines else ""
+    if first != FORMAT_LINE:
+        raise CorpusFormatError(f"{path}: missing '{FORMAT_LINE}' header")
+    expect: Optional[str] = None
+    codes: Tuple[str, ...] = ()
+    fields = {"fingerprint": "", "oracle": "", "found": ""}
+    for line in lines[1:]:
+        if not line.startswith("#"):
+            break
+        m = _EXPECT_RE.match(line)
+        if m:
+            expect = m.group(1)
+            codes = tuple(m.group(2).split())
+            continue
+        f = _FIELD_RE.match(line)
+        if f:
+            fields[f.group(1)] = f.group(2)
+    if expect is None:
+        raise CorpusFormatError(f"{path}: missing '# expect:' line")
+    if expect == "reject" and not codes:
+        raise CorpusFormatError(f"{path}: 'reject' needs at least one E-code")
+    return CorpusEntry(
+        path=path, text=text, expect=expect, expect_codes=codes,
+        fingerprint=fields["fingerprint"], oracle=fields["oracle"],
+        found=fields["found"],
+    )
+
+
+def load_corpus(directory: Union[str, Path]) -> List[CorpusEntry]:
+    directory = Path(directory)
+    return [load_entry(p) for p in sorted(directory.glob("*.bench"))]
+
+
+def render_entry(
+    body: str,
+    expect: str,
+    expect_codes: Tuple[str, ...] = (),
+    fingerprint: str = "",
+    oracle: str = "",
+    found: str = "",
+) -> str:
+    """Serialize a corpus file (header + minimized ``.bench`` body)."""
+    expect_line = f"# expect: {expect}"
+    if expect_codes:
+        expect_line += " " + " ".join(expect_codes)
+    # A leading BOM is only a BOM at byte 0; hoist it above the header so
+    # the reassembled file exercises the same bytes the fuzzer saw.
+    bom = ""
+    if body.startswith("\ufeff"):
+        bom, body = "\ufeff", body[1:]
+    header = [bom + FORMAT_LINE, expect_line]
+    if fingerprint:
+        header.append(f"# fingerprint: {fingerprint}")
+    if oracle:
+        header.append(f"# oracle: {oracle}")
+    if found:
+        header.append(f"# found: {found}")
+    return "\n".join(header) + "\n" + body.rstrip("\n") + "\n"
+
+
+def save_entry(
+    directory: Union[str, Path],
+    name: str,
+    body: str,
+    expect: str,
+    expect_codes: Tuple[str, ...] = (),
+    fingerprint: str = "",
+    oracle: str = "",
+    found: str = "",
+) -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.bench"
+    path.write_text(
+        render_entry(body, expect, expect_codes, fingerprint, oracle, found)
+    )
+    return path
+
+
+def replay_entry(entry: CorpusEntry, seed: int = 0) -> Optional[str]:
+    """Replay one entry; returns a failure message or ``None`` if it holds.
+
+    The oracle battery must produce no violations (and no crash -- a
+    crash propagates to the caller, which is exactly what a regression
+    should do), and the parse disposition must match ``expect``.
+    """
+    rng = np.random.Generator(np.random.PCG64(seed))
+    outcome = run_oracles(entry.text, rng)
+    if outcome.violations:
+        details = "; ".join(f"{o}: {m}" for o, m in outcome.violations)
+        return f"oracle violation on replay: {details}"
+    if entry.expect == "pass" and outcome.disposition != "pass":
+        return (
+            f"expected clean parse, got {outcome.disposition} "
+            f"{outcome.reject_codes}"
+        )
+    if entry.expect == "reject":
+        if outcome.disposition != "reject":
+            return f"expected reject, got {outcome.disposition}"
+        missing = [c for c in entry.expect_codes if c not in outcome.reject_codes]
+        if missing:
+            return (
+                f"expected codes {list(entry.expect_codes)}, parser "
+                f"reported {outcome.reject_codes} (missing {missing})"
+            )
+    return None

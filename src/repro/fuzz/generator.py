@@ -1,0 +1,203 @@
+"""Seeded random ``.bench`` source generator.
+
+Unlike :mod:`repro.bench_circuits.synthetic` (which builds well-formed
+:class:`Circuit` objects for experiments), this generator emits *text*,
+because text is what the ingestion pipeline ingests: statement order is
+shuffled (exercising forward references), aliases (``INV``/``BUFF``) and
+mixed keyword case appear, and -- when ``weird`` shapes are enabled --
+the output is deliberately broken in the exact ways the structural lint
+rules describe (self-loops, combinational cycles, undriven references,
+duplicate declarations, dead logic).
+
+Determinism: every byte of the output is a pure function of the
+``numpy`` generator passed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+#: Gate spellings the generator may emit (parser-accepted names).
+_GATE_SPELLINGS: Tuple[Tuple[str, int, int], ...] = (
+    # (name, min_fanin, max_fanin) as emitted; parser caps at 64.
+    ("AND", 2, 4),
+    ("NAND", 2, 4),
+    ("OR", 2, 4),
+    ("NOR", 2, 4),
+    ("XOR", 2, 3),
+    ("XNOR", 2, 3),
+    ("NOT", 1, 1),
+    ("INV", 1, 1),
+    ("BUF", 1, 1),
+    ("BUFF", 1, 1),
+)
+
+#: Lint-hard shapes the generator can inject, one code per shape.
+WEIRD_SHAPES: Tuple[str, ...] = (
+    "self_loop",       # x = AND(x, a)
+    "comb_cycle",      # a = AND(b, pi); b = NOT(a)
+    "undriven_ref",    # gate reads a net no statement drives
+    "dup_input",       # INPUT(a) twice
+    "dup_output",      # OUTPUT(y) twice
+    "redefine",        # same net driven by two gates
+    "dead_logic",      # cone that reaches no PO / flop
+    "dangling",        # gate output nobody reads
+    "const_gates",     # CONST0/CONST1 sources
+    "long_names",      # very long net names
+    "deep_fanin",      # one gate with huge fan-in (may exceed arity cap)
+)
+
+
+@dataclass(frozen=True)
+class GeneratorSpace:
+    """Knobs bounding the random circuit space.
+
+    Interface ranges are inclusive.  ``p_weird`` is the probability that
+    a generated source receives at least one lint-hard shape from
+    ``weird_shapes``; 0.0 yields only well-formed netlists.
+    """
+
+    n_pi: Tuple[int, int] = (1, 10)
+    n_po: Tuple[int, int] = (1, 5)
+    n_ff: Tuple[int, int] = (0, 8)
+    n_gates: Tuple[int, int] = (1, 80)
+    recent_window: int = 24      # locality window for fan-in picks (depth bias)
+    p_shuffle: float = 0.5       # shuffle statement order (forward refs)
+    p_weird: float = 0.0
+    weird_shapes: Tuple[str, ...] = WEIRD_SHAPES
+    max_weird: int = 2
+
+    def __post_init__(self) -> None:
+        for lo, hi in (self.n_pi, self.n_po, self.n_ff, self.n_gates):
+            if lo < 0 or hi < lo:
+                raise ValueError(f"bad range ({lo}, {hi})")
+        unknown = sorted(set(self.weird_shapes) - set(WEIRD_SHAPES))
+        if unknown:
+            raise ValueError(f"unknown weird shapes: {unknown}")
+
+
+def _rint(rng: np.random.Generator, lo: int, hi: int) -> int:
+    return int(rng.integers(lo, hi + 1))
+
+
+def _pick(rng: np.random.Generator, seq: List[str]) -> str:
+    return seq[int(rng.integers(len(seq)))]
+
+
+def generate_bench(
+    rng: np.random.Generator, space: GeneratorSpace = GeneratorSpace()
+) -> str:
+    """Generate one ``.bench`` source from ``rng`` within ``space``."""
+    n_pi = _rint(rng, *space.n_pi)
+    n_po = _rint(rng, *space.n_po)
+    n_ff = _rint(rng, *space.n_ff)
+    n_gates = max(_rint(rng, *space.n_gates), max(1, n_po + n_ff))
+
+    pis = [f"I{i}" for i in range(n_pi)]
+    qs = [f"Q{i}" for i in range(n_ff)]
+    pool = pis + qs if pis + qs else ["I0"]
+
+    decls = [f"INPUT({p})" for p in pis]
+    body: List[str] = []
+    gate_outs: List[str] = []
+    for g in range(n_gates):
+        out = f"n{g}"
+        name, lo, hi = _GATE_SPELLINGS[int(rng.integers(len(_GATE_SPELLINGS)))]
+        fanin = _rint(rng, lo, hi)
+        window = pool[-min(len(pool), space.recent_window):]
+        picks: List[str] = []
+        for _ in range(fanin):
+            src = _pick(rng, window if rng.random() < 0.7 else pool)
+            if src not in picks:
+                picks.append(src)
+        if len(picks) < lo:  # dedup starved the gate; fall back to unary
+            name, picks = "NOT", picks[:1] or [_pick(rng, pool)]
+        if rng.random() < 0.1:
+            name = name.lower()
+        body.append(f"{out} = {name}({', '.join(picks)})")
+        pool.append(out)
+        gate_outs.append(out)
+
+    # Flops latch late signals; POs observe late signals (deep cones).
+    tail = pool[-max(1, len(pool) // 2):]
+    for q in qs:
+        body.append(f"{q} = DFF({_pick(rng, tail)})")
+    po_nets: List[str] = []
+    for _ in range(n_po):
+        net = _pick(rng, tail)
+        if net not in po_nets:
+            po_nets.append(net)
+    decls.extend(f"OUTPUT({net})" for net in po_nets)
+
+    if space.p_weird > 0 and rng.random() < space.p_weird:
+        n_weird = _rint(rng, 1, max(1, space.max_weird))
+        for _ in range(n_weird):
+            shape = space.weird_shapes[
+                int(rng.integers(len(space.weird_shapes)))
+            ]
+            _inject_weird(rng, shape, decls, body, pool, gate_outs, pis, po_nets)
+
+    lines = decls + body
+    if space.p_shuffle > 0 and rng.random() < space.p_shuffle:
+        order = rng.permutation(len(lines))
+        lines = [lines[int(i)] for i in order]
+    return "\n".join(lines) + "\n"
+
+
+def _inject_weird(
+    rng: np.random.Generator,
+    shape: str,
+    decls: List[str],
+    body: List[str],
+    pool: List[str],
+    gate_outs: List[str],
+    pis: List[str],
+    po_nets: List[str],
+) -> None:
+    """Splice one lint-hard shape into the statement lists, in place."""
+    fresh = f"w{len(pool)}_{_rint(rng, 0, 999)}"
+    src = _pick(rng, pool)
+    if shape == "self_loop":
+        body.append(f"{fresh} = AND({fresh}, {src})")
+    elif shape == "comb_cycle":
+        a, b = fresh + "a", fresh + "b"
+        body.append(f"{a} = AND({b}, {src})")
+        body.append(f"{b} = NOT({a})")
+    elif shape == "undriven_ref":
+        body.append(f"{fresh} = OR({src}, ghost_{fresh})")
+    elif shape == "dup_input":
+        if pis:
+            decls.append(f"INPUT({_pick(rng, pis)})")
+    elif shape == "dup_output":
+        if po_nets:
+            decls.append(f"OUTPUT({_pick(rng, po_nets)})")
+    elif shape == "redefine":
+        if gate_outs:
+            body.append(f"{_pick(rng, gate_outs)} = NOT({src})")
+    elif shape == "dead_logic":
+        # A two-gate cone nobody observes.
+        body.append(f"{fresh} = NAND({src}, {_pick(rng, pool)})")
+        body.append(f"{fresh}x = NOT({fresh})")
+        body.append(f"{fresh}y = BUF({fresh}x)")
+        body.append(f"{fresh}x2 = AND({fresh}y, {fresh})")
+    elif shape == "dangling":
+        body.append(f"{fresh} = NOT({src})")
+    elif shape == "const_gates":
+        body.append(f"{fresh} = CONST{_rint(rng, 0, 1)}()")
+        body.append(f"{fresh}u = BUF({fresh})")
+    elif shape == "long_names":
+        long = "L" + "x" * _rint(rng, 200, 2000)
+        body.append(f"{long} = NOT({src})")
+        body.append(f"{fresh} = BUF({long})")
+    elif shape == "deep_fanin":
+        width = _rint(rng, 32, 80)
+        args = ", ".join(
+            _pick(rng, pool) if rng.random() < 0.3 else f"{fresh}_a{i}"
+            for i in range(width)
+        )
+        body.append(f"{fresh} = AND({args})")
+        for i in range(width):
+            body.append(f"{fresh}_a{i} = NOT({src})")

@@ -1,0 +1,255 @@
+"""Grammar-aware ``.bench`` mutator.
+
+Three mutation tiers, all deterministic from the generator passed in:
+
+- **token** mutations understand the statement grammar (swap a gate
+  type, rename one net occurrence, add/drop/duplicate an argument,
+  mangle a name with metacharacters),
+- **line** mutations treat the file as a list of statements (delete,
+  duplicate, swap, truncate, join, inject garbage),
+- **structural** mutations splice in whole statements that violate a
+  specific netlist invariant (duplicate declarations, redefinitions,
+  self-loops), plus *behavior-preserving* ones (consistent renames,
+  comment and whitespace noise) that must NOT change the parse result --
+  the metamorphic half of the oracle suite.
+- **encoding** mutations perturb bytes the parser must tolerate or
+  reject cleanly (BOM, CRLF, trailing blanks, non-ASCII junk).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+_ASSIGN_RE = re.compile(r"^(\s*)([^=\s]+)(\s*=\s*)([A-Za-z0-9_]+)\(([^)]*)\)\s*$")
+_GATE_NAMES = ["AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUF",
+               "INV", "BUFF", "DFF", "CONST0", "CONST1", "FROB", "MUX"]
+_JUNK_LINES = [
+    "this is not bench",
+    "INPUT()",
+    "OUTPUT(",
+    "= AND(a, b)",
+    "x == NOT(y)",
+    "INPUT(a b)",
+    "x = AND(a,, b)",
+    "\x00\x01\x02",
+    "ＩＮＰＵＴ(ａ)",
+]
+
+
+def _rint(rng: np.random.Generator, lo: int, hi: int) -> int:
+    return int(rng.integers(lo, hi + 1))
+
+
+def _nets_of(lines: List[str]) -> List[str]:
+    """Every net token mentioned anywhere, in first-appearance order."""
+    seen: Dict[str, None] = {}
+    for line in lines:
+        m = _ASSIGN_RE.match(line)
+        if m:
+            seen.setdefault(m.group(2))
+            for a in m.group(5).split(","):
+                if a.strip():
+                    seen.setdefault(a.strip())
+        else:
+            dm = re.match(r"^\s*(INPUT|OUTPUT)\((.*)\)\s*$", line, re.I)
+            if dm and dm.group(2).strip():
+                seen.setdefault(dm.group(2).strip())
+    return list(seen)
+
+
+# ---------------------------------------------------------------------------
+# Token-level mutations (each takes lines + rng, edits in place)
+# ---------------------------------------------------------------------------
+
+def _assign_lines(lines: List[str]) -> List[int]:
+    return [i for i, l in enumerate(lines) if _ASSIGN_RE.match(l)]
+
+
+def _mut_swap_gate_type(lines: List[str], rng: np.random.Generator) -> None:
+    idxs = _assign_lines(lines)
+    if not idxs:
+        return
+    i = idxs[int(rng.integers(len(idxs)))]
+    m = _ASSIGN_RE.match(lines[i])
+    new = _GATE_NAMES[int(rng.integers(len(_GATE_NAMES)))]
+    lines[i] = f"{m.group(1)}{m.group(2)}{m.group(3)}{new}({m.group(5)})"
+
+
+def _mut_rename_one_use(lines: List[str], rng: np.random.Generator) -> None:
+    nets = _nets_of(lines)
+    if not nets:
+        return
+    net = nets[int(rng.integers(len(nets)))]
+    hits = [i for i, l in enumerate(lines) if net in l]
+    if not hits:
+        return
+    i = hits[int(rng.integers(len(hits)))]
+    lines[i] = lines[i].replace(net, net + "_mut", 1)
+
+
+def _mut_arg_surgery(lines: List[str], rng: np.random.Generator) -> None:
+    idxs = _assign_lines(lines)
+    if not idxs:
+        return
+    i = idxs[int(rng.integers(len(idxs)))]
+    m = _ASSIGN_RE.match(lines[i])
+    args = [a.strip() for a in m.group(5).split(",") if a.strip()]
+    op = _rint(rng, 0, 2)
+    if op == 0 and args:           # drop one argument
+        del args[int(rng.integers(len(args)))]
+    elif op == 1 and args:         # duplicate one argument
+        args.append(args[int(rng.integers(len(args)))])
+    else:                          # append an unknown net
+        args.append(f"zz{_rint(rng, 0, 99)}")
+    lines[i] = (
+        f"{m.group(1)}{m.group(2)}{m.group(3)}{m.group(4)}({', '.join(args)})"
+    )
+
+
+def _mut_mangle_name(lines: List[str], rng: np.random.Generator) -> None:
+    nets = _nets_of(lines)
+    if not nets:
+        return
+    net = nets[int(rng.integers(len(nets)))]
+    bad = net + ["(", ")", ",", "=", " x", "#y"][_rint(rng, 0, 5)]
+    hits = [i for i, l in enumerate(lines) if net in l]
+    if hits:
+        i = hits[int(rng.integers(len(hits)))]
+        lines[i] = lines[i].replace(net, bad, 1)
+
+
+# ---------------------------------------------------------------------------
+# Line-level mutations
+# ---------------------------------------------------------------------------
+
+def _mut_delete_line(lines: List[str], rng: np.random.Generator) -> None:
+    if lines:
+        del lines[int(rng.integers(len(lines)))]
+
+
+def _mut_duplicate_line(lines: List[str], rng: np.random.Generator) -> None:
+    if lines:
+        i = int(rng.integers(len(lines)))
+        lines.insert(i, lines[i])
+
+
+def _mut_swap_lines(lines: List[str], rng: np.random.Generator) -> None:
+    if len(lines) >= 2:
+        i, j = int(rng.integers(len(lines))), int(rng.integers(len(lines)))
+        lines[i], lines[j] = lines[j], lines[i]
+
+
+def _mut_truncate_line(lines: List[str], rng: np.random.Generator) -> None:
+    if lines:
+        i = int(rng.integers(len(lines)))
+        if lines[i]:
+            lines[i] = lines[i][: int(rng.integers(len(lines[i])))]
+
+
+def _mut_join_lines(lines: List[str], rng: np.random.Generator) -> None:
+    if len(lines) >= 2:
+        i = int(rng.integers(len(lines) - 1))
+        lines[i] = lines[i] + " " + lines.pop(i + 1)
+
+
+def _mut_garbage_line(lines: List[str], rng: np.random.Generator) -> None:
+    junk = _JUNK_LINES[int(rng.integers(len(_JUNK_LINES)))]
+    lines.insert(int(rng.integers(len(lines) + 1)), junk)
+
+
+# ---------------------------------------------------------------------------
+# Structural mutations
+# ---------------------------------------------------------------------------
+
+def _mut_duplicate_decl(lines: List[str], rng: np.random.Generator) -> None:
+    decls = [l for l in lines if re.match(r"^\s*(INPUT|OUTPUT)\(", l, re.I)]
+    if decls:
+        lines.append(decls[int(rng.integers(len(decls)))])
+
+
+def _mut_redefine_net(lines: List[str], rng: np.random.Generator) -> None:
+    nets = _nets_of(lines)
+    if nets:
+        net = nets[int(rng.integers(len(nets)))]
+        other = nets[int(rng.integers(len(nets)))]
+        lines.append(f"{net} = NOT({other})")
+
+
+def _mut_self_loop(lines: List[str], rng: np.random.Generator) -> None:
+    nets = _nets_of(lines)
+    src = nets[int(rng.integers(len(nets)))] if nets else "a"
+    k = _rint(rng, 0, 9999)
+    lines.append(f"loop{k} = AND(loop{k}, {src})")
+
+
+# ---------------------------------------------------------------------------
+# Behavior-preserving mutations (metamorphic: parse must be unaffected
+# modulo the documented equivalence -- see oracles.check_metamorphic)
+# ---------------------------------------------------------------------------
+
+def _mut_comment_noise(lines: List[str], rng: np.random.Generator) -> None:
+    i = int(rng.integers(len(lines) + 1))
+    lines.insert(i, f"# noise {_rint(rng, 0, 9999)}")
+
+
+def _mut_whitespace_noise(lines: List[str], rng: np.random.Generator) -> None:
+    if lines:
+        i = int(rng.integers(len(lines)))
+        lines[i] = "  " + lines[i] + "   "
+
+
+#: (name, weight, fn) -- names are stable for reports and tests.
+MUTATIONS: List[Tuple[str, float, Callable[[List[str], np.random.Generator], None]]] = [
+    ("swap-gate-type", 2.0, _mut_swap_gate_type),
+    ("rename-one-use", 2.0, _mut_rename_one_use),
+    ("arg-surgery", 2.0, _mut_arg_surgery),
+    ("mangle-name", 1.0, _mut_mangle_name),
+    ("delete-line", 2.0, _mut_delete_line),
+    ("duplicate-line", 1.5, _mut_duplicate_line),
+    ("swap-lines", 1.0, _mut_swap_lines),
+    ("truncate-line", 1.0, _mut_truncate_line),
+    ("join-lines", 1.0, _mut_join_lines),
+    ("garbage-line", 1.0, _mut_garbage_line),
+    ("duplicate-decl", 1.0, _mut_duplicate_decl),
+    ("redefine-net", 1.0, _mut_redefine_net),
+    ("self-loop", 1.0, _mut_self_loop),
+    ("comment-noise", 0.5, _mut_comment_noise),
+    ("whitespace-noise", 0.5, _mut_whitespace_noise),
+]
+
+
+def mutate_bench(
+    text: str,
+    rng: np.random.Generator,
+    n_mutations: int = 3,
+) -> Tuple[str, List[str]]:
+    """Apply ``n_mutations`` weighted-random mutations to ``text``.
+
+    Returns ``(mutated_text, applied_mutation_names)``.  Encoding-level
+    perturbations (BOM / CRLF / trailing newline loss) are applied as a
+    final coin flip on the whole buffer.
+    """
+    lines = text.splitlines()
+    names, weights, fns = zip(*MUTATIONS)
+    p = np.asarray(weights, dtype=float)
+    p /= p.sum()
+    applied: List[str] = []
+    for _ in range(max(0, n_mutations)):
+        k = int(rng.choice(len(fns), p=p))
+        fns[k](lines, rng)
+        applied.append(names[k])
+    out = "\n".join(lines) + "\n"
+    r = rng.random()
+    if r < 0.05:
+        out = "\ufeff" + out
+        applied.append("bom")
+    elif r < 0.10:
+        out = out.replace("\n", "\r\n")
+        applied.append("crlf")
+    elif r < 0.13:
+        out = out.rstrip("\n")
+        applied.append("no-final-newline")
+    return out, applied

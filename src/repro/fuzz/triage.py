@@ -1,0 +1,155 @@
+"""Crash triage: stable fingerprints, dedup buckets, minimization.
+
+A *crasher* is any case whose oracle battery raised an exception that
+is not part of the ingestion contract (``BenchParseError`` is a clean
+reject, everything else is a bug) or produced an oracle violation.
+
+Fingerprints are deliberately coarse: exception type plus the sequence
+of ``(file basename, function)`` frames inside this package.  Line
+numbers are excluded so a fingerprint survives unrelated edits; two
+distinct bugs in one function dedupe together, which in practice is the
+right trade for a regression corpus (docs/fuzzing.md discusses this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Callable, List, Optional, Tuple
+
+
+def fingerprint_exception(exc: BaseException) -> str:
+    """A 12-hex stable fingerprint of an exception's type and stack."""
+    frames: List[Tuple[str, str]] = []
+    for frame in traceback.extract_tb(exc.__traceback__):
+        frames.append((PurePath(frame.filename).name, frame.name))
+    payload = type(exc).__name__ + "|" + "|".join(
+        f"{f}:{fn}" for f, fn in frames
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def fingerprint_violation(oracle: str, message: str) -> str:
+    """Fingerprint of an oracle violation: oracle plus message *shape*.
+
+    Digits are stripped so per-case details (vector indices, counts, net
+    numbers) do not split one bug across many buckets.
+    """
+    shape = "".join(ch for ch in message if not ch.isdigit())
+    payload = f"violation|{oracle}|{shape}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+@dataclass
+class CrashBucket:
+    """All cases sharing one fingerprint."""
+
+    fingerprint: str
+    kind: str                 # 'crash' | 'violation' | 'timeout' | 'oom' | 'killed'
+    oracle: str
+    error_type: str           # exception class name, or '' for violations
+    message: str              # first representative message
+    case_ids: List[int] = field(default_factory=list)
+    seeds: List[int] = field(default_factory=list)
+    minimized: Optional[str] = None
+
+    def render(self) -> str:
+        head = (
+            f"[{self.fingerprint}] {self.kind} x{len(self.case_ids)} "
+            f"oracle={self.oracle}"
+        )
+        if self.error_type:
+            head += f" type={self.error_type}"
+        first = self.message.splitlines()[0] if self.message else ""
+        lines = [head, f"  first case: {self.case_ids[0]}  msg: {first}"]
+        if self.minimized is not None:
+            n = len(self.minimized.splitlines())
+            lines.append(f"  minimized to {n} line(s)")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Delta-debugging minimization
+# ---------------------------------------------------------------------------
+
+def _ddmin(items: List[str], still_fails: Callable[[List[str]], bool]) -> List[str]:
+    """Classic ddmin over a list: smallest sublist keeping the failure."""
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and still_fails(candidate):
+                items = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                # restart scanning the shrunk list
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(n * 2, len(items))
+    return items
+
+
+def _shrink_tokens(
+    lines: List[str], still_fails: Callable[[List[str]], bool]
+) -> List[str]:
+    """Token pass: drop individual gate arguments where possible."""
+    for i in range(len(lines)):
+        while True:
+            line = lines[i]
+            if "(" not in line or ")" not in line:
+                break
+            head, _, rest = line.partition("(")
+            body = rest.rsplit(")", 1)[0]
+            args = [a.strip() for a in body.split(",") if a.strip()]
+            if len(args) <= 1:
+                break
+            shrunk = False
+            for k in range(len(args)):
+                trial = list(lines)
+                kept = args[:k] + args[k + 1:]
+                trial[i] = f"{head}({', '.join(kept)})"
+                if still_fails(trial):
+                    lines = trial
+                    shrunk = True
+                    break
+            if not shrunk:
+                break
+    return lines
+
+
+def minimize_bench(
+    text: str,
+    still_fails: Callable[[str], bool],
+    max_checks: int = 2000,
+) -> str:
+    """Minimize ``text`` while ``still_fails`` keeps returning True.
+
+    Line-granular ddmin first, then a token pass that drops gate
+    arguments.  ``still_fails`` is called on candidate *texts* and must
+    be cheap (the runner passes an in-process oracle re-run pinned to
+    the original failure fingerprint).  ``max_checks`` bounds the total
+    number of predicate calls so minimization can never hang the fuzzer.
+    """
+    budget = {"left": max_checks}
+
+    def lines_fail(lines: List[str]) -> bool:
+        if budget["left"] <= 0:
+            return False
+        budget["left"] -= 1
+        return still_fails("\n".join(lines) + "\n")
+
+    lines = text.splitlines()
+    if not still_fails(text) or not lines:
+        return text
+    lines = _ddmin(lines, lines_fail)
+    lines = _shrink_tokens(lines, lines_fail)
+    return "\n".join(lines) + "\n"

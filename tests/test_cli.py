@@ -125,3 +125,63 @@ class TestCommands:
 
     def test_convert_unknown_format(self, tmp_path, capsys):
         assert main(["convert", "s27", str(tmp_path / "x.json")]) == 2
+
+
+class TestFuzzCommand:
+    def test_fuzz_smoke(self, capsys):
+        code = main([
+            "fuzz", "--budget", "10", "--seed", "0", "--no-sandbox",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "seed=0 budget=10" in out
+        assert "no unique failures" in out
+
+    def test_fuzz_deterministic_output(self, capsys):
+        main(["fuzz", "--budget", "8", "--seed", "3", "--no-sandbox"])
+        first = capsys.readouterr().out
+        main(["fuzz", "--budget", "8", "--seed", "3", "--no-sandbox"])
+        assert capsys.readouterr().out == first
+
+    def test_fuzz_json(self, capsys):
+        import json
+
+        code = main([
+            "fuzz", "--budget", "5", "--seed", "1", "--no-sandbox", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["seed"] == 1
+        assert sum(report["counts"].values()) == 5
+
+    def test_fuzz_replay_corpus(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).parent / "corpus"
+        assert main(["fuzz", "--replay", str(corpus)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_fuzz_replay_missing_dir(self, tmp_path, capsys):
+        assert main(["fuzz", "--replay", str(tmp_path)]) == 2
+
+
+class TestIngestionErrors:
+    def test_unparseable_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bench"
+        bad.write_text("INPUT(a)\nOUTPUT(x)\nx = FROB(a)\n")
+        assert main(["stats", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "E002" in err
+
+    def test_unknown_benchmark_exits_2(self, capsys):
+        assert main(["stats", "no-such-circuit"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_error_lists_every_issue(self, tmp_path, capsys):
+        bad = tmp_path / "multi.bench"
+        bad.write_text(
+            "INPUT(a)\nINPUT(a)\nOUTPUT(x)\nx = FROB(ghost)\nx = NOT(a)\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "E002" in out and "E004" in out

@@ -1,0 +1,28 @@
+"""Replay every checked-in fuzz corpus entry (tier-1 regression gate).
+
+Each file under ``tests/corpus/`` is a minimized fuzzing discovery with
+an ``# expect:`` header recording the correct post-fix behavior; a
+replay failure means a fixed bug has regressed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import load_entry, replay_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.bench"))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", ENTRIES, ids=[p.stem for p in ENTRIES]
+)
+def test_corpus_entry_replays(path):
+    entry = load_entry(path)
+    problem = replay_entry(entry)
+    assert problem is None, f"{path.name}: {problem}"

@@ -1,0 +1,65 @@
+"""Grammar-aware mutator: determinism, mutation names, encoding flips."""
+
+import numpy as np
+
+from repro.bench_circuits.s27 import S27_BENCH
+from repro.fuzz.mutator import MUTATIONS, mutate_bench
+
+
+def rng_for(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+BASE = "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nx = AND(a, b)\n"
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        outs = {mutate_bench(S27_BENCH, rng_for(11))[0] for _ in range(3)}
+        assert len(outs) == 1
+
+    def test_applied_names_are_registered(self):
+        known = {name for name, _w, _f in MUTATIONS} | {
+            "bom", "crlf", "no-final-newline"
+        }
+        for seed in range(50):
+            _, applied = mutate_bench(BASE, rng_for(seed), n_mutations=4)
+            assert set(applied) <= known
+
+
+class TestBehavior:
+    def test_mutations_change_text(self):
+        changed = sum(
+            mutate_bench(S27_BENCH, rng_for(s))[0] != S27_BENCH
+            for s in range(30)
+        )
+        assert changed >= 28  # whitespace/comment noise still changes bytes
+
+    def test_zero_mutations_is_near_identity(self):
+        out, applied = mutate_bench(BASE, rng_for(3), n_mutations=0)
+        # Only the encoding coin flip may fire.
+        assert [a for a in applied if a not in ("bom", "crlf", "no-final-newline")] == []
+
+    def test_each_mutation_runs_without_error(self):
+        """Every registered mutation must cope with a tiny input."""
+        for name, _w, fn in MUTATIONS:
+            lines = BASE.splitlines()
+            fn(lines, rng_for(5))
+            assert isinstance(lines, list), name
+
+    def test_encoding_flips_reachable(self):
+        seen = set()
+        for seed in range(300):
+            _, applied = mutate_bench(BASE, rng_for(seed), n_mutations=1)
+            seen.update(
+                a for a in applied if a in ("bom", "crlf", "no-final-newline")
+            )
+        assert seen == {"bom", "crlf", "no-final-newline"}
+
+    def test_bom_prepends_feff(self):
+        for seed in range(300):
+            out, applied = mutate_bench(BASE, rng_for(seed), n_mutations=0)
+            if "bom" in applied:
+                assert out.startswith("\ufeff")
+                return
+        raise AssertionError("no BOM flip observed in 300 seeds")

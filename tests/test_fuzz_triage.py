@@ -1,0 +1,154 @@
+"""Triage: stable fingerprints, ddmin minimization, corpus round-trip."""
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CorpusFormatError,
+    load_entry,
+    render_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.triage import (
+    CrashBucket,
+    _ddmin,
+    fingerprint_exception,
+    fingerprint_violation,
+    minimize_bench,
+)
+
+
+def boom():
+    raise RuntimeError("kaboom 42")
+
+
+class TestFingerprints:
+    def test_same_crash_same_fingerprint(self):
+        prints = set()
+        for _ in range(2):
+            try:
+                boom()
+            except RuntimeError as exc:
+                prints.add(fingerprint_exception(exc))
+        assert len(prints) == 1
+
+    def test_different_types_differ(self):
+        try:
+            raise KeyError("x")
+        except KeyError as exc:
+            fp1 = fingerprint_exception(exc)
+        try:
+            raise RuntimeError("x")
+        except RuntimeError as exc:
+            fp2 = fingerprint_exception(exc)
+        assert fp1 != fp2
+
+    def test_violation_fingerprint_ignores_digits(self):
+        a = fingerprint_violation("sim", "vector 3 disagrees at bit 7")
+        b = fingerprint_violation("sim", "vector 91 disagrees at bit 0")
+        assert a == b
+
+    def test_violation_fingerprint_respects_oracle(self):
+        assert fingerprint_violation("a", "m") != fingerprint_violation("b", "m")
+
+
+class TestDdmin:
+    def test_finds_single_culprit(self):
+        items = [f"l{i}" for i in range(20)]
+        result = _ddmin(items, lambda ls: "l13" in ls)
+        assert result == ["l13"]
+
+    def test_finds_pair(self):
+        items = [f"l{i}" for i in range(16)]
+        result = _ddmin(items, lambda ls: "l3" in ls and "l12" in ls)
+        assert sorted(result) == ["l12", "l3"]
+
+
+class TestMinimizeBench:
+    def test_minimizes_to_failing_line(self):
+        text = "\n".join(f"g{i} = AND(a, b)" for i in range(30))
+        text += "\nBAD LINE\n"
+        out = minimize_bench(text, lambda t: "BAD LINE" in t)
+        assert out == "BAD LINE\n"
+
+    def test_shrinks_gate_args(self):
+        text = "x = AND(a, b, c, d, evil, e)\n"
+        out = minimize_bench(text, lambda t: "evil" in t)
+        assert out == "x = AND(evil)\n"
+
+    def test_non_reproducing_input_returned_unchanged(self):
+        text = "x = AND(a, b)\n"
+        assert minimize_bench(text, lambda t: False) == text
+
+    def test_budget_bounds_predicate_calls(self):
+        calls = {"n": 0}
+
+        def pred(t):
+            calls["n"] += 1
+            return "z" in t
+
+        text = "\n".join(f"z{i} = AND(z, z)" for i in range(64)) + "\n"
+        minimize_bench(text, pred, max_checks=10)
+        # initial check + at most max_checks bounded ones
+        assert calls["n"] <= 12
+
+
+class TestCrashBucketRender:
+    def test_render_mentions_fingerprint_and_count(self):
+        b = CrashBucket(
+            fingerprint="abc123def456", kind="crash", oracle="parse-contract",
+            error_type="RuntimeError", message="kaboom\nmore",
+            case_ids=[4, 9], seeds=[0, 0], minimized="x = NOT(a)\n",
+        )
+        out = b.render()
+        assert "abc123def456" in out
+        assert "x2" in out
+        assert "kaboom" in out
+        assert "minimized to 1 line(s)" in out
+
+
+class TestCorpusFormat:
+    def test_render_load_roundtrip(self, tmp_path):
+        p = save_entry(
+            tmp_path, "case", "a = NOT(a)\n", "reject", ("E008",),
+            fingerprint="fff", oracle="parse-contract", found="seed=1 case=2",
+        )
+        entry = load_entry(p)
+        assert entry.expect == "reject"
+        assert entry.expect_codes == ("E008",)
+        assert entry.fingerprint == "fff"
+        assert entry.oracle == "parse-contract"
+        assert entry.found == "seed=1 case=2"
+
+    def test_missing_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.bench"
+        p.write_text("x = NOT(a)\n")
+        with pytest.raises(CorpusFormatError):
+            load_entry(p)
+
+    def test_reject_without_codes_rejected(self, tmp_path):
+        p = tmp_path / "bad.bench"
+        p.write_text("# fuzz-corpus v1\n# expect: reject\nx = NOT(a)\n")
+        with pytest.raises(CorpusFormatError):
+            load_entry(p)
+
+    def test_bom_body_hoists_to_file_start(self):
+        out = render_entry("\ufeffINPUT(a)\n", "pass")
+        assert out.startswith("\ufeff# fuzz-corpus v1")
+        assert out.count("\ufeff") == 1
+
+    def test_replay_detects_wrong_expectation(self, tmp_path):
+        p = save_entry(
+            tmp_path, "wrong",
+            "INPUT(a)\nOUTPUT(x)\nx = NOT(a)\n", "reject", ("E007",),
+        )
+        problem = replay_entry(load_entry(p))
+        assert problem is not None
+        assert "expected reject" in problem
+
+    def test_replay_passes_correct_entry(self, tmp_path):
+        p = save_entry(
+            tmp_path, "right",
+            "INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n", "reject", ("E007",),
+        )
+        assert replay_entry(load_entry(p)) is None

@@ -1,0 +1,221 @@
+"""Hardened .bench parser: stable error codes, multi-error collection,
+column context, and encoding/edge-case tolerance."""
+
+import pytest
+
+from repro.circuit.bench_parser import (
+    BenchParseError,
+    BenchParseIssue,
+    parse_bench,
+    write_bench,
+)
+
+
+def codes_of(excinfo) -> list:
+    return excinfo.value.codes
+
+
+class TestErrorCodes:
+    def test_syntax_error(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nthis is junk\nx = NOT(a)\n")
+        assert "E001" in codes_of(e)
+
+    def test_unknown_gate(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = FROB(a)\n")
+        assert "E002" in codes_of(e)
+        assert "unknown gate type" in str(e.value)
+
+    def test_dff_arity(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n")
+        assert "E003" in codes_of(e)
+        assert "DFF" in str(e.value)
+
+    def test_gate_arity(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(a)\n")
+        assert "E003" in codes_of(e)
+
+    def test_duplicate_input(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nINPUT(a)\nOUTPUT(x)\nx = NOT(a)\n")
+        assert "E004" in codes_of(e)
+        assert "first on line 1" in str(e.value)
+
+    def test_duplicate_output(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nOUTPUT(x)\nx = NOT(a)\n")
+        assert "E005" in codes_of(e)
+
+    def test_redefined_net(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench(
+                "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nx = NOT(a)\nx = NOT(b)\n"
+            )
+        assert "E006" in codes_of(e)
+
+    def test_input_redefined_by_gate(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\na = NOT(x)\nx = NOT(a)\n")
+        assert "E006" in codes_of(e)
+
+    def test_undriven_reference(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n")
+        assert "E007" in codes_of(e)
+        assert "ghost" in str(e.value)
+
+    def test_undriven_output_declaration(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nOUTPUT(a)\n")
+        assert "E007" in codes_of(e)
+
+    def test_self_loop(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(x, a)\n")
+        assert "E008" in codes_of(e)
+        assert "self-loop" in str(e.value)
+
+    def test_combinational_cycle(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench(
+                "INPUT(a)\nOUTPUT(x)\nx = AND(y, a)\ny = NOT(x)\n"
+            )
+        assert "E008" in codes_of(e)
+        assert "combinational cycle" in str(e.value)
+
+    def test_no_observable_points(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nx = NOT(a)\n")
+        assert "E008" in codes_of(e)
+        assert "observable" in str(e.value)
+
+    def test_empty_file(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("")
+        assert codes_of(e) == ["E009"]
+
+    def test_comment_only_file(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("# just a comment\n\n   \n")
+        assert codes_of(e) == ["E009"]
+
+    def test_bad_net_name(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(a, b(c)\n")
+        assert "E010" in codes_of(e)
+
+    def test_empty_argument(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(a,, a)\n")
+        assert "E001" in codes_of(e)
+
+    def test_empty_declaration(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT()\nOUTPUT(x)\nINPUT(a)\nx = NOT(a)\n")
+        assert "E001" in codes_of(e)
+
+
+class TestMultiError:
+    def test_collects_all_issues(self):
+        text = (
+            "INPUT(a)\n"
+            "INPUT(a)\n"          # E004
+            "OUTPUT(x)\n"
+            "x = FROB(ghost)\n"   # E002 (FROB never registers, so x stays
+            "x = NOT(a)\n"        # drivable here without E006)
+        )
+        with pytest.raises(BenchParseError) as e:
+            parse_bench(text)
+        assert set(codes_of(e)) == {"E002", "E004"}
+        assert len(e.value.issues) == 2
+
+    def test_issues_sorted_by_location(self):
+        text = "INPUT(a)\nOUTPUT(x)\nx = AND(a, g1)\ny = OR(a, g2)\n"
+        with pytest.raises(BenchParseError) as e:
+            parse_bench(text)
+        linenos = [i.lineno for i in e.value.issues]
+        assert linenos == sorted(linenos)
+
+    def test_lineno_points_at_first_issue(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\njunk\nOUTPUT(x)\nx = FROB(a)\n")
+        assert e.value.lineno == 2
+
+    def test_legacy_constructor(self):
+        err = BenchParseError(3, "something broke")
+        assert err.lineno == 3
+        assert err.codes == ["E000"]
+        assert "line 3" in str(err)
+        assert "something broke" in str(err)
+
+    def test_column_context(self):
+        with pytest.raises(BenchParseError) as e:
+            parse_bench("INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n")
+        issue = next(i for i in e.value.issues if i.code == "E007")
+        assert issue.column == "x = AND(a, ghost)".find("ghost") + 1
+        assert "col" in issue.render()
+
+
+class TestEdgeCases:
+    GOOD = "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nx = AND(a, b)\n"
+
+    def test_bom_tolerated(self):
+        c = parse_bench("\ufeff" + self.GOOD)
+        assert c.num_inputs == 2
+
+    def test_crlf_tolerated(self):
+        c = parse_bench(self.GOOD.replace("\n", "\r\n"))
+        assert c.num_inputs == 2
+
+    def test_trailing_whitespace_and_blank_lines(self):
+        text = "INPUT(a)   \n\n  OUTPUT(x)\t\nx = NOT(a)  \n\n"
+        c = parse_bench(text)
+        assert c.num_inputs == 1
+
+    def test_missing_final_newline(self):
+        c = parse_bench(self.GOOD.rstrip("\n"))
+        assert c.num_inputs == 2
+
+    def test_mid_line_comments(self):
+        text = (
+            "INPUT(a) # the input\n"
+            "OUTPUT(x) # the output\n"
+            "x = NOT(a) # invert # twice\n"
+        )
+        c = parse_bench(text)
+        assert c.num_gates == 1
+
+    def test_forward_references(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(x)\nx = NOT(y)\ny = BUFF(a)\n")
+        assert c.num_gates == 2
+
+    def test_long_net_names(self):
+        name = "n" * 5000
+        c = parse_bench(f"INPUT({name})\nOUTPUT(x)\nx = NOT({name})\n")
+        assert name in c.inputs
+
+    def test_wide_fanin_within_cap(self):
+        args = ", ".join(f"i{k}" for k in range(64))
+        decls = "\n".join(f"INPUT(i{k})" for k in range(64))
+        c = parse_bench(f"{decls}\nOUTPUT(x)\nx = AND({args})\n")
+        assert len(c.gate_for("x").inputs) == 64
+
+    def test_fanin_above_cap_rejected(self):
+        args = ", ".join(f"i{k}" for k in range(65))
+        decls = "\n".join(f"INPUT(i{k})" for k in range(65))
+        with pytest.raises(BenchParseError) as e:
+            parse_bench(f"{decls}\nOUTPUT(x)\nx = AND({args})\n")
+        assert "E003" in codes_of(e)
+
+    def test_bom_equivalent_parse(self):
+        plain = parse_bench(self.GOOD)
+        bom = parse_bench("\ufeff" + self.GOOD)
+        assert plain.structurally_equal(bom)
+        assert write_bench(plain) == write_bench(bom)
+
+    def test_issue_render_file_level(self):
+        issue = BenchParseIssue(code="E009", lineno=0, message="empty")
+        assert issue.render() == "file: [E009] empty"

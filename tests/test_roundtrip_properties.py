@@ -1,0 +1,101 @@
+"""Seeded property tests: parse(write(c)) == c across random circuits.
+
+A lightweight property harness (no hypothesis dependency): each property
+runs over a sweep of seeded random circuits from the fuzz generator and
+the synthetic builder, covering DFF scan order, INV/BUFF aliases, and
+encoding perturbations for both the .bench and Verilog round-trips.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
+from repro.circuit.bench_parser import parse_bench, write_bench
+from repro.circuit.verilog import parse_verilog, write_verilog
+from repro.fuzz.generator import GeneratorSpace, generate_bench
+from repro.fuzz.oracles import verilog_safe
+
+SEEDS = range(25)
+
+
+def rng_for(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def random_circuit(seed):
+    space = GeneratorSpace(p_weird=0.0, n_gates=(2, 60), n_ff=(0, 8))
+    return parse_bench(generate_bench(rng_for(seed), space))
+
+
+class TestBenchRoundtrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_circuits(self, seed):
+        c = random_circuit(seed)
+        back = parse_bench(write_bench(c), name=c.name)
+        assert c.structurally_equal(back)
+        assert write_bench(back) == write_bench(c)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_synthetic_circuits(self, seed):
+        spec = SyntheticSpec(
+            name=f"prop{seed}", n_pi=4 + seed, n_po=2, n_ff=seed % 5,
+            n_gates=20 + 7 * seed, seed=seed,
+        )
+        c = synthesize(spec)
+        back = parse_bench(write_bench(c), name=c.name)
+        assert c.structurally_equal(back)
+
+    def test_scan_order_preserved(self):
+        text = (
+            "INPUT(a)\nOUTPUT(x)\n"
+            "q2 = DFF(q1)\nq1 = DFF(q0)\nq0 = DFF(a)\n"
+            "x = AND(q0, q2)\n"
+        )
+        c = parse_bench(text)
+        assert c.state_vars == ["q2", "q1", "q0"]  # file order, not topo
+        back = parse_bench(write_bench(c))
+        assert back.state_vars == c.state_vars
+        assert [f.d for f in back.flops] == [f.d for f in c.flops]
+
+    def test_alias_normalization_is_stable(self):
+        """INV/BUFF normalize to NOT/BUF once, then reach a fixpoint."""
+        text = "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = INV(a)\nz = BUFF(a)\n"
+        c = parse_bench(text)
+        once = write_bench(c)
+        assert "NOT(a)" in once and "BUF(a)" in once
+        assert write_bench(parse_bench(once)) == once
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_encoding_perturbations_equivalent(self, seed):
+        c = random_circuit(seed)
+        text = write_bench(c)
+        for variant in (
+            "\ufeff" + text,
+            text.replace("\n", "\r\n"),
+            text.rstrip("\n"),
+        ):
+            assert parse_bench(variant).structurally_equal(c)
+
+
+class TestVerilogRoundtrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_circuits(self, seed):
+        c = random_circuit(seed)
+        if not verilog_safe(c):
+            pytest.skip("net names do not survive the Verilog dialect")
+        back = parse_verilog(write_verilog(c))
+        assert c.structurally_equal(back)
+
+    def test_clock_name_collision_avoided(self):
+        """A net named ``clk`` must not collide with the emitted clock port."""
+        text = "INPUT(clk)\nOUTPUT(x)\nq = DFF(clk)\nx = AND(q, clk)\n"
+        c = parse_bench(text)
+        v = write_verilog(c)
+        ports = v.split("(", 1)[1].split(")", 1)[0].split(",")
+        names = [p.strip() for p in ports]
+        assert len(names) == len(set(names)), f"duplicate ports in {names}"
+
+    def test_zero_input_circuit_writes_valid_verilog(self):
+        c = parse_bench("x = CONST1()\nOUTPUT(x)\n")
+        v = write_verilog(c)
+        assert "input ;" not in v

@@ -40,7 +40,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 #: Path components whose files must be free of wall-clock reads.
-CRITICAL_PARTS = {"core", "faults", "simulation", "robustness"}
+CRITICAL_PARTS = {"core", "faults", "simulation", "robustness", "fuzz"}
 
 #: Module-level functions of stdlib ``random`` that use the hidden
 #: global generator.
