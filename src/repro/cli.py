@@ -167,6 +167,8 @@ def _config_from_args(args: argparse.Namespace) -> BistConfig:
             D1_DECREASING if args.d1_order == "decreasing" else D1_INCREASING
         ),
         n_jobs=args.jobs,
+        pool=args.pool,
+        candidate_batch=args.candidate_batch,
         shard_timeout=args.shard_timeout,
         shard_retries=args.shard_retries,
     )
@@ -334,6 +336,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1,
                        help="fault-simulation worker processes "
                             "(1 = serial, -1 = all cores)")
+        p.add_argument("--pool", choices=("persistent", "sharded"),
+                       default="persistent",
+                       help="parallel back end for --jobs > 1: the "
+                            "persistent shared-memory worker pool or the "
+                            "legacy per-dispatch sharded executor")
+        p.add_argument("--candidate-batch", type=int, default=1,
+                       metavar="N", dest="candidate_batch",
+                       help="candidate test sets evaluated per "
+                            "simulation pass (1 = one at a time); "
+                            "results are byte-identical for any value")
         p.add_argument("--shard-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="per-shard watchdog timeout before a hung "

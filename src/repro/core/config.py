@@ -54,6 +54,20 @@ class BistConfig:
             knob (recovery re-runs the same deterministic work).
         shard_retries: parallel re-attempts for a failed shard before it
             is re-executed serially in the parent.  Execution knob.
+        pool: which parallel back-end serves fault simulation when
+            ``n_jobs > 1``: ``'persistent'`` (default) keeps one worker
+            pool alive for the whole Procedure 2 run with the circuit
+            and fault list published once through shared memory (see
+            :mod:`repro.faults.pool`); ``'sharded'`` is the legacy
+            per-dispatch :class:`~repro.faults.sharding.ShardedFaultSimulator`.
+            Execution knob: results are byte-identical either way.
+        candidate_batch: how many ``(I, D1)`` candidate test sets
+            Procedure 2 scores per fault-simulation dispatch.  1
+            (default) evaluates candidates one by one; larger values
+            amortize the per-pass evaluation overhead across the batch
+            (speculative evaluation with exact reconstruction -- see
+            :meth:`repro.faults.fault_sim.FaultSimulator.simulate_candidates`).
+            Execution knob: results are byte-identical for any value.
     """
 
     la: int = 8
@@ -70,6 +84,8 @@ class BistConfig:
     lint: str = "warn"
     shard_timeout: Optional[float] = None
     shard_retries: int = 2
+    pool: str = "persistent"
+    candidate_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.la < 1 or self.lb < 1:
@@ -94,6 +110,10 @@ class BistConfig:
             raise ValueError("shard_timeout must be positive, or None")
         if self.shard_retries < 0:
             raise ValueError("shard_retries must be >= 0")
+        if self.pool not in ("persistent", "sharded"):
+            raise ValueError("pool must be 'persistent' or 'sharded'")
+        if self.candidate_batch < 1:
+            raise ValueError("candidate_batch must be >= 1")
 
     def with_lengths(self, la: int, lb: int, n: int) -> "BistConfig":
         """A copy with different ``(L_A, L_B, N)`` (everything else kept)."""
@@ -103,10 +123,11 @@ class BistConfig:
         """The result-affecting parameters as a JSON-compatible dict.
 
         Execution knobs (``n_jobs``, ``lint``, ``shard_timeout``,
-        ``shard_retries``) are intentionally omitted: they never change
-        results on valid circuits, so serialized outputs and checkpoint
-        journals stay byte-identical across serial/parallel, lint-mode,
-        and recovery-policy variations.
+        ``shard_retries``, ``pool``, ``candidate_batch``) are
+        intentionally omitted: they never change results on valid
+        circuits, so serialized outputs and checkpoint journals stay
+        byte-identical across serial/parallel, lint-mode, pool-backend,
+        batching, and recovery-policy variations.
         """
         return {
             "la": self.la,

@@ -66,11 +66,22 @@ def build_limited_scan_test_set(
     d2 = config.effective_d2(n_sv)
     seed = config.seed_for_iteration(iteration)
     source = make_source(seed, config.rng_kind)
+    # Re-seeding per test makes the schedule a pure function of the test
+    # length, so equal-length tests share one PRNG walk instead of
+    # redrawing it n times per candidate.
+    by_length: dict = {}
     tests: List[ScanTest] = []
     for test in ts0:
         if config.reseed_per_test:
-            source = make_source(seed, config.rng_kind)
-        schedule = schedule_for_test(source, test.length, d1, d2)
+            schedule = by_length.get(test.length)
+            if schedule is None:
+                schedule = schedule_for_test(
+                    make_source(seed, config.rng_kind), test.length, d1, d2
+                )
+                by_length[test.length] = schedule
+            schedule = list(schedule)
+        else:
+            schedule = schedule_for_test(source, test.length, d1, d2)
         tests.append(
             ScanTest(si=list(test.si), vectors=[list(v) for v in test.vectors],
                      schedule=schedule)

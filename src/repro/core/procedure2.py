@@ -26,7 +26,6 @@ from repro.circuit.netlist import Circuit
 from repro.core.config import BistConfig
 from repro.core.cost import ncyc0 as ncyc0_formula
 from repro.core.cost import total_cycles
-from repro.core.limited_scan import build_limited_scan_test_set
 from repro.core.test_set import generate_ts0, total_vectors
 from repro.faults.fault_sim import (
     DetectionRecord,
@@ -35,6 +34,7 @@ from repro.faults.fault_sim import (
     ScanTest,
 )
 from repro.faults.model import Fault
+from repro.faults.pool import CandidateEvaluator
 from repro.faults.sharding import (
     RecoveryPolicy,
     ShardedFaultSimulator,
@@ -218,11 +218,17 @@ def run_procedure2(
     incomplete run, never an error.
 
     ``n_jobs`` (default: ``config.n_jobs``) shards the fault list across
-    worker processes for every fault-simulation call; one pool lives for
-    the whole run so workers keep their compiled model across iterations.
-    Results are identical to the serial run for any ``n_jobs``; worker
-    failures are recovered shard by shard (see
-    :mod:`repro.faults.sharding`) and recorded on
+    worker processes for every fault-simulation call.  With
+    ``config.pool == 'persistent'`` (the default) one
+    :class:`~repro.faults.pool.PersistentWorkerPool` lives for the whole
+    run: the compiled circuit and target faults are published once into
+    shared memory and each dispatch ships only shard indices plus
+    pattern seeds.  ``config.pool == 'sharded'`` selects the legacy
+    per-dispatch :class:`~repro.faults.sharding.ShardedFaultSimulator`.
+    ``config.candidate_batch`` additionally scores that many candidate
+    ``(I, D1)`` test sets per dispatch in one fanned-out pass.  Results
+    are byte-identical to the serial run for any combination of these
+    knobs; worker failures are recovered shard by shard and recorded on
     ``result.degradation``.
 
     ``checkpoint`` (a :class:`~repro.robustness.checkpoint.CheckpointPolicy`
@@ -241,7 +247,7 @@ def run_procedure2(
     jobs = resolve_n_jobs(config.n_jobs if n_jobs is None else n_jobs)
     sim = (
         simulator.sharded(jobs, recovery=_recovery_from_config(config))
-        if jobs > 1
+        if jobs > 1 and config.pool == "sharded"
         else simulator
     )
     writer = None
@@ -261,7 +267,8 @@ def run_procedure2(
         )
     try:
         result = _run_procedure2_body(
-            circuit, config, target_faults, sim, policy, ts0, writer=writer
+            circuit, config, target_faults, sim, policy, ts0,
+            writer=writer, n_jobs=jobs,
         )
     finally:
         if sim is not simulator:
@@ -376,7 +383,7 @@ def resume_procedure2(
     jobs = resolve_n_jobs(config.n_jobs if n_jobs is None else n_jobs)
     sim = (
         simulator.sharded(jobs, recovery=_recovery_from_config(config))
-        if jobs > 1
+        if jobs > 1 and config.pool == "sharded"
         else simulator
     )
     if sim.chain_length != header["n_sv"]:
@@ -404,6 +411,7 @@ def resume_procedure2(
             ts0,
             writer=writer,
             start=start,
+            n_jobs=jobs,
         )
     finally:
         if sim is not simulator:
@@ -422,6 +430,7 @@ def _run_procedure2_body(
     ts0: Optional[List[ScanTest]],
     writer: Optional["CheckpointWriter"] = None,
     start: Optional[_ResumeState] = None,
+    n_jobs: int = 1,
 ) -> Procedure2Result:
     ts0 = ts0 if ts0 is not None else generate_ts0(circuit, config)
     # Under partial scan the chain length plays the role of N_SV in both
@@ -430,6 +439,39 @@ def _run_procedure2_body(
     positions = (
         {f: i for i, f in enumerate(target_faults)} if writer else None
     )
+    evaluator = CandidateEvaluator(
+        simulator,
+        ts0,
+        config,
+        n_sv,
+        policy,
+        n_jobs=n_jobs,
+        targets=target_faults,
+        circuit_name=circuit.name,
+        recovery=_recovery_from_config(config),
+    )
+    try:
+        return _procedure2_loop(
+            circuit, config, target_faults, evaluator, positions,
+            writer=writer, start=start,
+        )
+    finally:
+        evaluator.close()
+
+
+def _procedure2_loop(
+    circuit: Circuit,
+    config: BistConfig,
+    target_faults: Sequence[Fault],
+    evaluator: CandidateEvaluator,
+    positions: Optional[Dict[Fault, int]],
+    writer: Optional["CheckpointWriter"] = None,
+    start: Optional[_ResumeState] = None,
+) -> Procedure2Result:
+    def finish(res: Procedure2Result) -> Procedure2Result:
+        if evaluator.degradation.degraded:
+            res.degradation = evaluator.degradation
+        return res
 
     if start is not None and start.ts0_done:
         result = start.result
@@ -443,16 +485,16 @@ def _run_procedure2_body(
             result.iterations_run = iteration
             if writer:
                 writer.write_final(True, iteration)
-            return result
+            return finish(result)
     else:
         result = Procedure2Result(
             circuit_name=circuit.name,
             config=config,
-            n_sv=n_sv,
+            n_sv=evaluator.n_sv,
             num_targets=len(target_faults),
         )
         remaining = list(target_faults)
-        ts0_hits = simulator.simulate_grouped(ts0, remaining, policy)
+        ts0_hits = evaluator.evaluate_ts0(remaining).hits_for(remaining)
         result.detections.update(ts0_hits)
         result.ts0_detected = len(ts0_hits)
         remaining = [f for f in remaining if f not in ts0_hits]
@@ -462,18 +504,53 @@ def _run_procedure2_body(
             result.complete = True
             if writer:
                 writer.write_final(True, 0)
-            return result
+            return finish(result)
         iteration = 0
         n_same_fc = 0
 
+    # The candidate sequence (I = iteration+1.., each with every D1 in
+    # preference order) is fully deterministic; only the stop point
+    # depends on results.  The loop therefore streams it in windows of
+    # up to evaluator.batch candidates, scoring each window against the
+    # remaining list as of its dispatch.  Each candidate's exact hits
+    # against its *then-current* remaining list (shrunk by earlier
+    # candidates) are reconstructed from the dispatch rows, so any
+    # window partition yields byte-identical results; at worst the tail
+    # window past the stop point is wasted work.  Window sizing is
+    # adaptive: while the run is still improving (n_same_fc == 0) the
+    # remaining list shrinks fast, so windows stop at the iteration
+    # boundary to avoid scoring future candidates against a stale,
+    # larger fault list; once the run plateaus the list is static,
+    # cross-iteration speculation is free, and windows widen to the
+    # full batch.
+    all_specs = [
+        (it, d1)
+        for it in range(iteration + 1, config.max_iterations + 1)
+        for d1 in config.d1_values
+    ]
+    pos = 0  # next spec to dispatch; specs are consumed in list order
+    n_d1 = len(config.d1_values)
+    prefetched: Dict[Any, Any] = {}
     while n_same_fc < config.n_same_fc and iteration < config.max_iterations:
         iteration += 1
         improved = False
         journal_pairs: List[Dict[str, Any]] = []
-        for d1 in config.d1_values:
-            ts = build_limited_scan_test_set(ts0, iteration, d1, config, n_sv)
-            hits = simulator.simulate_grouped(ts, remaining, policy)
+        for k, d1 in enumerate(config.d1_values):
+            table = prefetched.pop((iteration, d1), None)
+            if table is None:
+                # Everything before (iteration, d1) is consumed, so pos
+                # points exactly at it.
+                width = evaluator.batch
+                if n_same_fc == 0:
+                    width = min(width, n_d1 - k)
+                specs = all_specs[pos : pos + width]
+                pos += len(specs)
+                tables = evaluator.evaluate_specs(specs, remaining)
+                prefetched.update(zip(specs[1:], tables[1:]))
+                table = tables[0]
+            hits = table.hits_for(remaining)
             if hits:
+                ts = table.tests
                 result.detections.update(hits)
                 pair = PairResult(
                     iteration=iteration,
@@ -515,4 +592,4 @@ def _run_procedure2_body(
     result.complete = not remaining
     if writer:
         writer.write_final(result.complete, iteration)
-    return result
+    return finish(result)

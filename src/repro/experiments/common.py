@@ -13,11 +13,17 @@ from repro.bench_circuits import load_circuit
 from repro.core.config import BistConfig
 from repro.core.session import LimitedScanBist
 
-_SESSIONS: Dict[Tuple[str, int, int], LimitedScanBist] = {}
+_SESSIONS: Dict[Tuple[str, int, int, str, int], LimitedScanBist] = {}
 
 #: Default fault-simulation parallelism for experiment sessions; set by
 #: the runner's ``--jobs`` flag.  Results are identical for any value.
 _DEFAULT_N_JOBS = 1
+
+#: Parallel back end and candidate batching for experiment sessions; set
+#: by the runner's ``--pool`` / ``--candidate-batch`` flags.  Neither
+#: knob changes results, only wall-clock time.
+_DEFAULT_POOL = "persistent"
+_DEFAULT_CANDIDATE_BATCH = 1
 
 
 def set_default_n_jobs(n_jobs: int) -> None:
@@ -26,13 +32,33 @@ def set_default_n_jobs(n_jobs: int) -> None:
     _DEFAULT_N_JOBS = n_jobs
 
 
+def set_default_pool(pool: str) -> None:
+    """Set the parallel back end for sessions created after this call."""
+    global _DEFAULT_POOL
+    _DEFAULT_POOL = pool
+
+
+def set_default_candidate_batch(batch: int) -> None:
+    """Set the candidate batch for sessions created after this call."""
+    global _DEFAULT_CANDIDATE_BATCH
+    _DEFAULT_CANDIDATE_BATCH = batch
+
+
 def bist_for(name: str, base_seed: int = 20010618) -> LimitedScanBist:
     """A cached :class:`LimitedScanBist` session for a catalog circuit."""
-    key = (name, base_seed, _DEFAULT_N_JOBS)
+    key = (
+        name, base_seed, _DEFAULT_N_JOBS, _DEFAULT_POOL,
+        _DEFAULT_CANDIDATE_BATCH,
+    )
     if key not in _SESSIONS:
         _SESSIONS[key] = LimitedScanBist(
             load_circuit(name),
-            config=BistConfig(base_seed=base_seed, n_jobs=_DEFAULT_N_JOBS),
+            config=BistConfig(
+                base_seed=base_seed,
+                n_jobs=_DEFAULT_N_JOBS,
+                pool=_DEFAULT_POOL,
+                candidate_batch=_DEFAULT_CANDIDATE_BATCH,
+            ),
         )
     return _SESSIONS[key]
 

@@ -37,7 +37,11 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import ablations, table1, table3, table4, table5, table6, table7, table8
-from repro.experiments.common import set_default_n_jobs
+from repro.experiments.common import (
+    set_default_candidate_batch,
+    set_default_n_jobs,
+    set_default_pool,
+)
 from repro.experiments.report import canonical_result_name
 from repro.robustness.atomic import atomic_write_json, atomic_write_text
 
@@ -171,6 +175,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
              "cores); results are identical for any value",
     )
     parser.add_argument(
+        "--pool", choices=("persistent", "sharded"), default="persistent",
+        help="parallel back end for --jobs > 1: the persistent "
+             "shared-memory worker pool or the legacy per-dispatch "
+             "sharded executor",
+    )
+    parser.add_argument(
+        "--candidate-batch", type=int, default=1, metavar="N",
+        dest="candidate_batch",
+        help="candidate test sets evaluated per simulation pass; "
+             "results are identical for any value",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="skip sections already completed per DIR/manifest.json "
              "(failed sections are re-run)",
@@ -183,6 +199,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         list(argv) if argv is not None else None
     )
     set_default_n_jobs(args.jobs)
+    set_default_pool(args.pool)
+    set_default_candidate_batch(args.candidate_batch)
     out_dir: Path = args.out
     out_dir.mkdir(parents=True, exist_ok=True)
     manifest_path = out_dir / "manifest.json"

@@ -17,7 +17,7 @@ test a detected fault keeps simulating, which is harmless).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -136,6 +136,14 @@ class FaultSimulator:
                 raise ValueError("chain must be distinct positions in range")
         self.chain = np.array(chain, dtype=np.intp)
 
+    def __getstate__(self) -> dict:
+        # The injection cache is a per-process working set keyed by
+        # object identity; never ship it through pickle (shared-memory
+        # publication, worker dispatch).
+        state = self.__dict__.copy()
+        state.pop("_cand_inj_cache", None)
+        return state
+
     @property
     def chain_length(self) -> int:
         """Scanned flip-flops (= N_SV under full scan)."""
@@ -237,6 +245,295 @@ class FaultSimulator:
                     detected.update(hits)
                     remaining = [f for f in remaining if f not in hits]
         return detected
+
+    # ------------------------------------------------------------------
+    # Batched multi-candidate evaluation (the persistent-pool fast path).
+    # ------------------------------------------------------------------
+    def candidate_partition(
+        self, tests: Sequence[ScanTest]
+    ) -> List[List[int]]:
+        """:meth:`simulate_grouped`'s batch partition as test indices.
+
+        Tests sharing ``(length, schedule)`` form one batch, in first
+        appearance order -- the exact grouping ``simulate_grouped`` uses.
+        """
+        batches: Dict[tuple, List[int]] = {}
+        for i, test in enumerate(tests):
+            self._check_test(test)
+            sig = (
+                test.length,
+                tuple(
+                    (k, tuple(fill))
+                    for k, fill in (test.schedule or [(0, ())] * test.length)
+                ),
+            )
+            batches.setdefault(sig, []).append(i)
+        return list(batches.values())
+
+    def candidates_compatible(
+        self,
+        test_sets: Sequence[Sequence[ScanTest]],
+        n_faults: int,
+        max_cols: int = 4096,
+    ) -> bool:
+        """Whether :meth:`simulate_candidates` can reproduce the serial
+        result exactly for these candidates against ``n_faults`` targets.
+
+        Requires every candidate to induce the same batch partition and
+        every batch to fit in a single ``simulate_grouped`` chunk (so the
+        per-fault first-detection attribution is chunking-independent).
+        The chunk condition is monotone in the fault count, so validity
+        against the dispatch-time fault list implies validity against
+        every later (smaller) remaining list.
+        """
+        if not test_sets or n_faults <= 0:
+            return False
+        parts = [self.candidate_partition(ts) for ts in test_sets]
+        if any(p != parts[0] for p in parts[1:]):
+            return False
+        for idx in parts[0]:
+            lengths = {len(ts[idx[0]].vectors) for ts in test_sets}
+            if len(lengths) != 1:
+                return False
+        n_groups = (n_faults + 63) // 64
+        chunk_tests = max(1, max_cols // max(n_groups, 1))
+        return all(len(idx) <= chunk_tests for idx in parts[0])
+
+    def simulate_candidates(
+        self,
+        test_sets: Sequence[Sequence[ScanTest]],
+        faults: Sequence[Fault],
+        policy: Optional[ObservationPolicy] = None,
+        max_cols: int = 4096,
+    ) -> Optional[List[List[tuple]]]:
+        """Score several candidate test sets against ``faults`` at once.
+
+        Every candidate (e.g. one ``TS(I, D1)``) is laid out along the
+        word axis next to the others, so one compiled-model pass per time
+        unit serves the whole batch -- the Python-level evaluation
+        overhead (the dominant cost for s1423-class circuits) is paid
+        once instead of once per candidate.
+
+        Returns, per candidate, the raw first-detection rows
+        ``(fault_pos, batch_rank, test_index, time_unit, where)`` against
+        the *full* ``faults`` list.  Because per-fault detection records
+        are independent of which other faults are simulated (the
+        parallel-fault model), the exact serial
+        ``simulate_grouped(ts, remaining)`` result -- dict contents *and*
+        insertion order -- can be reconstructed from these rows for any
+        ordered subset ``remaining`` of ``faults`` (see
+        :func:`repro.faults.pool.reconstruct_hits`).
+
+        Returns ``None`` when the exactness preconditions fail (see
+        :meth:`candidates_compatible`); callers must then fall back to
+        per-candidate :meth:`simulate_grouped`.
+        """
+        policy = policy or ObservationPolicy()
+        faults = list(faults)
+        test_sets = [list(ts) for ts in test_sets]
+        if not test_sets:
+            return []
+        if not faults or not test_sets[0]:
+            return [[] for _ in test_sets]
+        if not self.candidates_compatible(test_sets, len(faults), max_cols):
+            return None
+        groups = [faults[i : i + 64] for i in range(0, len(faults), 64)]
+        rows: List[List[tuple]] = [[] for _ in test_sets]
+        for batch_rank, idx_list in enumerate(
+            self.candidate_partition(test_sets[0])
+        ):
+            # Chunk the candidate axis so the fanned-out pass keeps
+            # roughly the serial column budget: each candidate is
+            # independent in the combined layout, so chunking C never
+            # changes any row, it only bounds the working set.  Small
+            # remaining lists (the Procedure 2 tail, where per-pass
+            # Python overhead dominates) fit the whole batch; large ones
+            # degrade gracefully towards per-candidate passes.
+            # One candidate occupies nT * (G + 1) columns in the combined
+            # layout (faulty groups plus the riding reference slot).
+            per_cand = max(1, len(idx_list) * (len(groups) + 1))
+            c_chunk = max(1, max_cols // per_cand)
+            for c0 in range(0, len(test_sets), c_chunk):
+                self._simulate_candidate_batch(
+                    test_sets[c0 : c0 + c_chunk],
+                    idx_list,
+                    groups,
+                    policy,
+                    batch_rank,
+                    rows[c0 : c0 + c_chunk],
+                )
+        return rows
+
+    def _base_injections(self, groups: List[List[Fault]], nT: int) -> Any:
+        """Single-candidate injection masks for ``groups`` x ``nT`` tests.
+
+        The masks depend only on the fault identities (signal, value,
+        word/bit position) and the test count -- not on vectors or
+        schedules -- so consecutive candidate batches over an unchanged
+        remaining list (Procedure 2's plateau) reuse one build.  Keys
+        pin the fault objects, so an ``id`` can never be recycled while
+        its entry lives; the cache is small and never pickled.
+        """
+        cache = getattr(self, "_cand_inj_cache", None)
+        if cache is None:
+            cache = self._cand_inj_cache = {}
+        flat = tuple(f for group in groups for f in group)
+        key = (nT, len(groups), tuple(map(id, flat)))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit[1]
+        entries = []
+        G = len(groups)
+        for g, group in enumerate(groups):
+            for bit, fault in enumerate(group):
+                sig_idx = self.graph.signal_of(fault)
+                for t in range(nT):
+                    entries.append((sig_idx, t * G + g, bit, fault.value))
+        base_inj = Injections.build(entries, self.model.level_of_signal)
+        while len(cache) >= 4:
+            cache.pop(next(iter(cache)))
+        cache[key] = (flat, base_inj)
+        return base_inj
+
+    def _simulate_candidate_batch(
+        self,
+        test_sets: Sequence[Sequence[ScanTest]],
+        idx_list: Sequence[int],
+        groups: List[List[Fault]],
+        policy: ObservationPolicy,
+        batch_rank: int,
+        rows: List[List[tuple]],
+    ) -> None:
+        """One uniform batch, all candidates side by side.
+
+        Column layout: ``(c * nT + t) * (G + 1) + g`` with the fault-free
+        reference riding along as slot ``g == G`` -- one ``model.eval``
+        per time unit serves every candidate's faulty machines *and* the
+        reference.  Injection masks are remapped to the ``G + 1`` stride
+        and never touch the reference slots, so every column carries
+        bit-for-bit the value the serial :meth:`_simulate_batch` layout
+        (separate reference pass, ``G``-stride faulty pass) would give
+        it, and therefore every detection row is identical to a
+        per-candidate serial pass.
+        """
+        model = self.model
+        C = len(test_sets)
+        nT = len(idx_list)
+        G = len(groups)
+        W = G + 1  # faulty groups plus the reference slot
+        cand_tests = [[ts[i] for i in idx_list] for ts in test_sets]
+        length = cand_tests[0][0].length
+        cand_sched = [
+            [ct[0].step(u) for u in range(length)] for ct in cand_tests
+        ]
+        taps = policy.tap_rows()
+
+        si_cols = np.concatenate(
+            [self._si_words(ct) for ct in cand_tests], axis=1
+        )  # (chain, C * nT)
+        per_cand_pi = [self._pi_words(ct) for ct in cand_tests]
+        pi_cols = [
+            np.concatenate([per_cand_pi[c][u] for c in range(C)], axis=1)
+            for u in range(length)
+        ]
+
+        # Injection masks are built once for a single candidate block and
+        # retargeted to the combined stride with per-candidate column
+        # offsets: the Python-level entry merge (O(faults * tests)
+        # tuples) is paid once per batch -- and cached across batches,
+        # since Procedure 2's plateau phase re-dispatches the same
+        # remaining faults window after window.
+        base_inj = self._base_injections(groups, nT)
+        inj = Injections()
+        offsets = np.arange(C, dtype=np.intp) * (nT * W)
+        for lvl, (sigs, words, ands, ors) in base_inj.per_level.items():
+            # words = t * G + g for one candidate; restride to t * W + g.
+            restrided = words + words // G  # t*G+g + t == t*(G+1)+g
+            inj.per_level[lvl] = (
+                np.tile(sigs, C),
+                (restrided[None, :] + offsets[:, None]).reshape(-1),
+                np.tile(ands, C),
+                np.tile(ors, C),
+            )
+
+        n_cols = C * nT * W
+        state = np.zeros((self._n_sv, n_cols), dtype=np.uint64)
+        if len(self.chain):
+            state[self.chain, :] = np.repeat(si_cols, W, axis=1)
+        vals = model.alloc(n_cols)
+        seen = np.zeros((C, G), dtype=np.uint64)
+
+        def record_one(
+            c: int, diff_tg: np.ndarray, u: int, where: str
+        ) -> None:
+            """Candidate ``c``'s slice of the serial ``record`` logic."""
+            agg = np.bitwise_or.reduce(diff_tg, axis=0)
+            fresh = agg & ~seen[c]
+            if not fresh.any():
+                return
+            for g in np.flatnonzero(fresh):
+                bits = int(fresh[g])
+                mask_col = diff_tg[:, g]
+                while bits:
+                    low = bits & -bits
+                    bit = low.bit_length() - 1
+                    if bit < len(groups[g]):
+                        t_loc = int(
+                            np.flatnonzero(mask_col & np.uint64(low))[0]
+                        )
+                        # Plain ints only: rows cross a process boundary
+                        # and are schema-validated on the way back.
+                        rows[c].append(
+                            (
+                                int(g) * 64 + bit,
+                                batch_rank,
+                                idx_list[t_loc],
+                                u,
+                                where,
+                            )
+                        )
+                    bits ^= low
+            seen[c] |= fresh
+
+        def record_all(diff_ctg: np.ndarray, u: int, where: str) -> None:
+            for c in range(C):
+                record_one(c, diff_ctg[c], u, where)
+
+        for u in range(length):
+            for c in range(C):
+                k, fill = cand_sched[c][u]
+                if k > 0:
+                    blk, out_words = self._shift(
+                        state[:, c * nT * W : (c + 1) * nT * W], k, list(fill)
+                    )
+                    state[:, c * nT * W : (c + 1) * nT * W] = blk
+                    if policy.limited_scan_out:
+                        out = out_words.reshape(k, nT, W)
+                        diff = out[:, :, :G] ^ out[:, :, G:]
+                        record_one(
+                            c,
+                            np.bitwise_or.reduce(diff, axis=0),
+                            u,
+                            "limited-scan",
+                        )
+            vals[model.pi_idx, :] = np.repeat(pi_cols[u], W, axis=1)
+            vals[model.q_idx, :] = state
+            model.eval(vals, injections=inj)
+            if policy.primary_outputs and len(model.po_idx):
+                n_po = len(model.po_idx)
+                po = vals[model.po_idx, :].reshape(n_po, C, nT, W)
+                diff = po[..., :G] ^ po[..., G:]
+                record_all(np.bitwise_or.reduce(diff, axis=0), u, "po")
+            state = vals[model.d_idx, :].copy()
+            if taps is not None:
+                tp = state[taps, :].reshape(len(taps), C, nT, W)
+                diff = tp[..., :G] ^ tp[..., G:]
+                record_all(np.bitwise_or.reduce(diff, axis=0), u, "state-tap")
+
+        if policy.final_scan_out and self.chain_length:
+            fs = state[self.chain].reshape(self.chain_length, C, nT, W)
+            diff = fs[..., :G] ^ fs[..., G:]
+            record_all(np.bitwise_or.reduce(diff, axis=0), length, "scan-out")
 
     def _simulate_batch(
         self,

@@ -32,9 +32,11 @@ and their fault shard per task.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
 import random
+import sys
 import time
 from concurrent.futures import (
     CancelledError,
@@ -53,6 +55,16 @@ from repro.simulation.compiled import shard_word_ranges
 
 #: Faults per simulation word (bits of a uint64).
 WORD_BITS = 64
+
+#: Serial record order within one time unit: the limited-scan compare
+#: runs before the gate eval, primary outputs and state taps after it,
+#: and the final scan-out is a separate time unit.
+WHERE_RANK: Dict[str, int] = {
+    "limited-scan": 0,
+    "po": 1,
+    "state-tap": 2,
+    "scan-out": 3,
+}
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -174,12 +186,22 @@ class SimulatorPool:
 
     def __init__(self, simulator: Any, n_jobs: int) -> None:
         self.n_jobs = resolve_n_jobs(n_jobs)
-        self._payload = pickle.dumps(simulator)
+        self._simulator = simulator
+        self._payload: Optional[bytes] = None
+        #: Times the simulator was serialized (once per pool lifetime on
+        #: the happy path -- respawns and serial rescues must not add).
+        self.pickle_count = 0
         self._executor: Optional[Executor] = None
         self.broken = False
 
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
+            if self._payload is None:
+                # Serialize lazily and exactly once: a pool whose every
+                # dispatch degrades to serial never pays for pickling,
+                # and a respawn after kill() reuses the cached payload.
+                self._payload = pickle.dumps(self._simulator)
+                self.pickle_count += 1
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_jobs,
                 initializer=_init_worker,
@@ -338,7 +360,9 @@ class ShardedFaultSimulator:
         dispatch = self._dispatches
         self._dispatches += 1
         results = self._run_shards(dispatch, method, tests, shards, policy, kwargs)
-        return _merge_records(results, faults)
+        return _merge_records(
+            results, faults, tests, method, kwargs.get("max_cols", 4096)
+        )
 
     # -- the hardened shard loop ----------------------------------------
     def _run_shards(
@@ -436,9 +460,10 @@ class ShardedFaultSimulator:
 
             if pool_dead and self._pool is not None:
                 # A crash poisons the executor and a hung worker squats a
-                # slot forever; either way the pool must be respawned.
+                # slot forever; either way the workers must be respawned.
+                # The pool object itself survives so its one pickled
+                # simulator payload is reused instead of re-serialized.
                 self._pool.kill()
-                self._pool = None
                 self.degradation.pool_respawns += 1
 
             next_pending: List[int] = []
@@ -479,23 +504,102 @@ class ShardedFaultSimulator:
         self.close()
 
 
+def _grouped_test_ranks(
+    tests: Sequence[Any],
+    n_faults: int,
+    hits_per_test: Dict[int, int],
+    max_cols: int,
+) -> Dict[int, int]:
+    """Chunk rank of every test index under serial ``simulate_grouped``.
+
+    Mirrors its batching exactly: tests sharing ``(length, schedule)``
+    form one batch in first-appearance order, each batch is consumed in
+    chunks of ``max_cols // n_groups`` tests, and detected faults are
+    dropped between chunks (shrinking ``n_groups`` for later chunks).
+    ``hits_per_test`` -- detections attributed to each test index --
+    lets the walk replay how ``remaining`` shrank.
+    """
+    batches: Dict[tuple, List[int]] = {}
+    for i, test in enumerate(tests):
+        sig = (
+            test.length,
+            tuple(
+                (k, tuple(fill))
+                for k, fill in (test.schedule or [(0, ())] * test.length)
+            ),
+        )
+        batches.setdefault(sig, []).append(i)
+    ranks: Dict[int, int] = {}
+    rank = 0
+    remaining = n_faults
+    for idxs in batches.values():
+        pos = 0
+        while pos < len(idxs) and remaining > 0:
+            n_groups = (remaining + WORD_BITS - 1) // WORD_BITS
+            chunk = idxs[pos : pos + max(1, max_cols // max(n_groups, 1))]
+            pos += len(chunk)
+            for i in chunk:
+                ranks[i] = rank
+            remaining -= sum(hits_per_test.get(i, 0) for i in chunk)
+            rank += 1
+        for i in idxs[pos:]:  # tests the serial loop never reached
+            ranks[i] = rank
+    return ranks
+
+
 def _merge_records(
-    shard_records: Sequence[Dict[Fault, Any]], faults: Sequence[Fault]
+    shard_records: Sequence[Dict[Fault, Any]],
+    faults: Sequence[Fault],
+    tests: Sequence[Any],
+    method: str,
+    max_cols: int = 4096,
 ) -> Dict[Fault, Any]:
     """Merge disjoint per-shard record dicts into one deterministic dict.
 
     Shards partition the fault list, so the union is conflict-free; the
-    merged dict is ordered by ``(test_index, time_unit, input position)``
-    -- the serial simulator's first-detection order -- so downstream
-    consumers never observe worker-completion order.
+    merged dict reproduces the *serial* simulator's insertion order so
+    downstream consumers never observe worker-completion order.  Both
+    serial paths record in ``(pass, time_unit, observation point, fault
+    position)`` order, where a pass is one test for ``simulate`` and one
+    test-shape chunk for ``simulate_grouped`` (replayed by
+    :func:`_grouped_test_ranks`); a fault's position in the full list
+    orders identically to its position within any shard.
+
+    Worker payloads arrive through pickle, which neither interns strings
+    nor preserves object identity, so records are rebuilt on the
+    caller's object graph: the fault key/field becomes the caller's own
+    ``Fault`` and ``where`` the interned constant.  Without this the
+    merged result is value-equal to the serial one but not
+    byte-identical when serialized (a different pickle memo structure).
     """
     position = {fault: i for i, fault in enumerate(faults)}
-    combined: Dict[Fault, Any] = {}
+    canonical = {fault: fault for fault in faults}
+    combined: List[Tuple[Fault, Any]] = []
     for records in shard_records:
-        combined.update(records)
-    return dict(
-        sorted(
-            combined.items(),
-            key=lambda kv: (kv[1].test_index, kv[1].time_unit, position[kv[0]]),
+        combined.extend(records.items())
+    if method == "simulate_grouped":
+        hits_per_test: Dict[int, int] = {}
+        for _, record in combined:
+            hits_per_test[record.test_index] = (
+                hits_per_test.get(record.test_index, 0) + 1
+            )
+        ranks = _grouped_test_ranks(
+            tests, len(faults), hits_per_test, max_cols
+        )
+    else:
+        ranks = {i: i for i in range(len(tests))}
+    combined.sort(
+        key=lambda kv: (
+            ranks[kv[1].test_index],
+            kv[1].time_unit,
+            WHERE_RANK.get(kv[1].where, len(WHERE_RANK)),
+            position[kv[0]],
         )
     )
+    out: Dict[Fault, Any] = {}
+    for fault, record in combined:
+        mine = canonical[fault]
+        out[mine] = dataclasses.replace(
+            record, fault=mine, where=sys.intern(record.where)
+        )
+    return out

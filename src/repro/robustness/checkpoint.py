@@ -66,6 +66,28 @@ def fingerprint_faults(faults: Iterable[Fault]) -> str:
     return digest.hexdigest()
 
 
+def session_fingerprint(
+    circuit_name: str, config: "Any", target_faults: Iterable[Fault]
+) -> str:
+    """SHA-256 identity of one Procedure 2 session's published inputs.
+
+    Hashes the circuit name, the result-affecting config
+    (:meth:`BistConfig.to_dict` -- execution knobs excluded) and the
+    ordered target-fault list.  The persistent worker pool keys its
+    shared-memory segment names on a prefix of this digest, so
+    concurrent sessions over different circuits or configs can never
+    collide on a segment, while a resumed session maps to the same
+    identity as the original run.
+    """
+    digest = hashlib.sha256()
+    digest.update(circuit_name.encode("utf-8"))
+    digest.update(
+        json.dumps(config.to_dict(), sort_keys=True).encode("utf-8")
+    )
+    digest.update(fingerprint_faults(target_faults).encode("utf-8"))
+    return digest.hexdigest()
+
+
 @dataclass(frozen=True)
 class CheckpointPolicy:
     """How (and how often) a Procedure 2 run journals its progress.
@@ -153,6 +175,13 @@ def load_checkpoint(path: Union[str, Path]) -> CheckpointState:
             pending_pairs.append(record)
         elif kind == "cursor":
             # Commit point: the buffered pairs belong to this iteration.
+            # Iterations only ever move forward, so a commit at or below
+            # the current cursor is a duplicated transaction (a flush
+            # interrupted after its bytes landed, then re-appended) and
+            # replaying its pairs again would corrupt the resumed state.
+            if record["iteration"] <= state.cursor[0]:
+                pending_pairs = []
+                continue
             state.pairs.extend(pending_pairs)
             pending_pairs = []
             state.cursor = (record["iteration"], record["n_same_fc"])
@@ -199,10 +228,18 @@ class CheckpointWriter:
                 os.fsync(fh.fileno())
 
     def _flush_pending(self) -> None:
-        if self._pending:
-            self._append("".join(self._pending))
-            self._pending = []
+        # The buffer is taken *before* the durable write: if a signal
+        # lands inside ``_append`` after the bytes reached the file (an
+        # fsync interrupted by KeyboardInterrupt), the interrupt handler
+        # path -- ``close()`` from the run's ``finally`` -- must not
+        # append the same transaction a second time.  Dropping the
+        # buffer on a failed append is safe: an unflushed transaction is
+        # indistinguishable from crashing before the commit, which the
+        # reader already treats as uncommitted.
+        text, self._pending = "".join(self._pending), []
         self._uncommitted_iterations = 0
+        if text:
+            self._append(text)
 
     # -- records ---------------------------------------------------------
     def write_ts0(self, detected_rows: Sequence[Sequence[Any]]) -> None:

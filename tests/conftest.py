@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import glob
+
 import pytest
 
 from repro.bench_circuits.s27 import s27_circuit
@@ -9,6 +11,29 @@ from repro.bench_circuits.synthetic import SyntheticSpec, synthesize
 from repro.circuit.library import GateType
 from repro.circuit.netlist import Circuit
 from repro.faults.model import FaultGraph
+
+
+def _pool_segments() -> set:
+    """Live shared-memory segments of the persistent worker pool."""
+    return set(glob.glob("/dev/shm/rlspool_*"))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_pool_segments():
+    """Every test must release its worker-pool shared memory.
+
+    The persistent pool publishes session state under
+    ``/dev/shm/rlspool_*``; a segment that survives a test means a
+    missing ``close_pool()``/finalizer on some path (including crash
+    recovery), which would leak kernel memory across Procedure 2
+    sessions.  Segments that already existed before the test (another
+    process, a leak under investigation) are tolerated but new ones are
+    not.
+    """
+    before = _pool_segments()
+    yield
+    leaked = _pool_segments() - before
+    assert not leaked, f"leaked worker-pool segments: {sorted(leaked)}"
 
 
 @pytest.fixture

@@ -1,0 +1,124 @@
+"""Regression harness for ``benchmarks/bench_pool.py``.
+
+Runs the benchmark in ``--smoke`` mode (seconds-scale, s298), validates
+the ``BENCH_pool.json`` schema, and fails if the batched evaluation
+path regresses below the serial baseline recorded in the file.  The
+committed full-grid ``BENCH_pool.json`` at the repository root is also
+schema-checked so the tracked perf trajectory cannot silently rot.
+
+Marked ``slow``: deselect with ``-m "not slow"`` for a fast inner loop.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_pool.py"
+COMMITTED = REPO_ROOT / "BENCH_pool.json"
+
+REQUIRED_ROW_KEYS = {
+    "circuit", "mode", "n_jobs", "candidate_batch", "seconds",
+    "speedup_vs_serial", "identical_to_serial", "degraded",
+}
+
+
+def _load_bench_module():
+    spec = importlib.util.spec_from_file_location("bench_pool", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_pool", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _validate_schema(payload: dict) -> None:
+    assert payload["schema"] == "bench-pool/v1"
+    assert isinstance(payload["smoke"], bool)
+    assert payload["host"]["cpu_count"] >= 1
+    assert isinstance(payload["workloads"], dict) and payload["workloads"]
+    rows = payload["results"]
+    assert isinstance(rows, list) and rows
+    for row in rows:
+        assert REQUIRED_ROW_KEYS <= set(row), row
+        assert row["mode"] in ("serial", "sharded", "pool")
+        assert row["seconds"] >= 0.0
+        assert row["speedup_vs_serial"] > 0.0
+    serial_rows = [r for r in rows if r["mode"] == "serial"]
+    assert serial_rows, "every grid must include the serial baseline"
+
+
+@pytest.fixture(scope="module")
+def smoke_payload(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_pool.json"
+    module = _load_bench_module()
+    rc = module.main(["--smoke", "--out", str(out)])
+    assert rc == 0, "smoke benchmark reported non-identical results"
+    return json.loads(out.read_text())
+
+
+class TestSmokeBenchmark:
+    def test_schema(self, smoke_payload):
+        _validate_schema(smoke_payload)
+        assert smoke_payload["smoke"] is True
+
+    def test_everything_identical_to_serial(self, smoke_payload):
+        bad = [
+            r for r in smoke_payload["results"]
+            if not r["identical_to_serial"]
+        ]
+        assert not bad, bad
+
+    def test_batched_path_not_below_serial_baseline(self, smoke_payload):
+        """The in-process batched pass must beat one-at-a-time serial."""
+        rows = [
+            r for r in smoke_payload["results"]
+            if r["mode"] == "pool" and r["n_jobs"] == 1
+        ]
+        assert rows
+        for row in rows:
+            assert row["speedup_vs_serial"] >= 1.0, row
+
+    def test_pool_not_below_serial_on_multicore_hosts(self, smoke_payload):
+        """Process-pool dispatch at smoke scale only pays for itself
+        when real cores exist; on a single-core host the row is recorded
+        but not gated (the overhead measurement is the point)."""
+        if (os.cpu_count() or 1) < 2:
+            pytest.skip("single-core host: pool smoke rows are ungated")
+        rows = [
+            r for r in smoke_payload["results"]
+            if r["mode"] == "pool" and r["n_jobs"] > 1
+        ]
+        assert rows
+        for row in rows:
+            assert row["speedup_vs_serial"] >= 1.0, row
+
+
+class TestCommittedTrajectory:
+    def test_committed_file_schema(self):
+        payload = json.loads(COMMITTED.read_text())
+        _validate_schema(payload)
+        assert payload["smoke"] is False
+
+    def test_committed_pool_rows_identical_and_fast(self):
+        payload = json.loads(COMMITTED.read_text())
+        pool_rows = [
+            r for r in payload["results"] if r["mode"] == "pool"
+        ]
+        assert pool_rows
+        assert all(r["identical_to_serial"] for r in pool_rows)
+        best_at_4 = max(
+            (r["speedup_vs_serial"] for r in pool_rows if r["n_jobs"] == 4),
+            default=0.0,
+        )
+        assert best_at_4 >= 3.0, (
+            "committed trajectory no longer shows the >=3x pool speedup "
+            f"at n_jobs=4 (best: {best_at_4}x)"
+        )

@@ -137,6 +137,56 @@ class TestJournalFormat:
         state = load_checkpoint(path)
         assert state.cursor == (1, 0)
 
+    def test_duplicated_transaction_is_replayed_once(self, tmp_path):
+        """A committed iteration appended twice must not replay twice.
+
+        The duplicate arises when a signal interrupts ``_flush_pending``
+        after its bytes landed (e.g. inside fsync) and the interrupt
+        path flushes again; old journals may carry it, so the reader
+        skips any commit at or below the current cursor.
+        """
+        path = tmp_path / "j.jsonl"
+        pair = {"iteration": 1, "d1": 3, "newly_detected": 1, "nsh": 2,
+                "ls_time_units": 5, "total_time_units": 9,
+                "detected": [[1, 4, 0, "po"]]}
+        with CheckpointWriter(CheckpointPolicy(path), self.header()) as w:
+            w.write_ts0([])
+            w.commit_iteration(1, 0, [pair])
+        block = (
+            json.dumps(dict(pair, kind="pair"), sort_keys=True) + "\n"
+            + json.dumps({"kind": "cursor", "iteration": 1,
+                          "n_same_fc": 0}, sort_keys=True) + "\n"
+        )
+        with open(path, "a") as fh:
+            fh.write(block)  # the re-flushed duplicate
+        state = load_checkpoint(path)
+        assert len(state.pairs) == 1
+        assert state.cursor == (1, 0)
+
+    def test_interrupted_flush_never_duplicates(self, tmp_path, monkeypatch):
+        """KeyboardInterrupt inside the durable append, then ``close()``:
+        the transaction must land at most once."""
+        import repro.robustness.checkpoint as ckpt_mod
+
+        path = tmp_path / "j.jsonl"
+        writer = CheckpointWriter(CheckpointPolicy(path), self.header())
+        real_fsync = os.fsync
+        fired = []
+
+        def exploding_fsync(fd):
+            real_fsync(fd)  # the bytes are already durable
+            if not fired:
+                fired.append(True)
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(ckpt_mod.os, "fsync", exploding_fsync)
+        with pytest.raises(KeyboardInterrupt):
+            writer.commit_iteration(1, 0, [{"iteration": 1, "detected": []}])
+        writer.close()  # the interrupt path: must not re-append
+        state = load_checkpoint(path)
+        assert len(state.pairs) == 1
+        assert state.cursor == (1, 0)
+
     def test_missing_and_malformed(self, tmp_path):
         with pytest.raises(CheckpointError, match="no checkpoint"):
             load_checkpoint(tmp_path / "absent.jsonl")

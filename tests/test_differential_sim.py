@@ -204,3 +204,124 @@ def test_oracle_catches_an_injected_discrepancy():
         assert oracle.observations(stripped) != oracle.observations(t)
     else:  # pragma: no cover - seeds above guarantee shifts
         assert baseline == oracle.observations(corrupted)
+
+
+# ----------------------------------------------------------------------
+# Persistent-pool differential suite: the batched candidate evaluator
+# (in-process and through the worker pool) and the legacy sharded
+# simulator must reproduce the serial ``simulate_grouped`` result --
+# same detections, same insertion order -- on every seeded case.
+# ----------------------------------------------------------------------
+import dataclasses
+import json
+
+from repro.core.config import BistConfig
+from repro.core.limited_scan import build_limited_scan_test_set
+from repro.core.procedure2 import run_procedure2
+from repro.core.test_set import generate_ts0
+from repro.experiments.serialize import result_to_dict
+from repro.faults.pool import CandidateEvaluator
+
+
+def _pool_case(seed: int):
+    circuit = synthesize(
+        SyntheticSpec(
+            name=f"pooldiff{seed}",
+            n_pi=3 + seed % 3,
+            n_po=2,
+            n_ff=3 + seed % 2,
+            n_gates=22 + seed % 7,
+            seed=2000 + seed,
+        )
+    )
+    cfg = BistConfig(la=4, lb=8, n=4)
+    ts0 = generate_ts0(circuit, cfg)
+    faults = collapse_faults(circuit)
+    return circuit, cfg, ts0, faults
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_pool_vs_serial_vs_sharded_identical(seed):
+    """Candidate tables from the pool evaluator == serial == sharded."""
+    circuit, cfg, ts0, faults = _pool_case(seed)
+    sim = FaultSimulator(circuit)
+    n_sv = circuit.num_state_vars
+    specs = [(0, None)] + [(1, d1) for d1 in cfg.d1_values[:3]]
+    built = {
+        spec: (
+            ts0 if spec[1] is None
+            else build_limited_scan_test_set(ts0, spec[0], spec[1], cfg, n_sv)
+        )
+        for spec in specs
+    }
+
+    serial = {
+        spec: sim.simulate_grouped(tests, faults)
+        for spec, tests in built.items()
+    }
+
+    pooled_cfg = dataclasses.replace(
+        cfg, n_jobs=2, pool="persistent", candidate_batch=len(specs)
+    )
+    evaluator = CandidateEvaluator(
+        sim, ts0, pooled_cfg, n_sv, None,
+        n_jobs=2, targets=faults, circuit_name=circuit.name,
+    )
+    try:
+        tables = evaluator.evaluate_specs(specs, faults)
+        for spec, table in zip(specs, tables):
+            hits = table.hits_for(faults)
+            # Content AND insertion order must match the serial call.
+            assert list(hits.items()) == list(serial[spec].items())
+    finally:
+        evaluator.close()
+
+    with sim.sharded(2) as psim:
+        for spec, tests in built.items():
+            sharded = psim.simulate_grouped(tests, faults)
+            assert set(sharded) == set(serial[spec])
+
+
+class TestProcedure2PoolByteIdentity:
+    """Full Procedure 2 byte-identity across the n_jobs x batch grid."""
+
+    CFG = BistConfig(la=4, lb=8, n=16, n_same_fc=2, max_iterations=6)
+    GRID = [(1, 1), (1, 8), (2, 1), (2, 8), (4, 1), (4, 8)]
+
+    def _run(self, circuit, faults, cfg, checkpoint=None):
+        result = run_procedure2(circuit, cfg, faults, checkpoint=checkpoint)
+        return json.dumps(result_to_dict(result), sort_keys=True)
+
+    def test_result_blob_identical_across_grid(self, s27):
+        faults = collapse_faults(s27)
+        baseline = self._run(s27, faults, self.CFG)
+        for jobs, batch in self.GRID:
+            cfg = dataclasses.replace(
+                self.CFG, n_jobs=jobs, pool="persistent",
+                candidate_batch=batch,
+            )
+            assert self._run(s27, faults, cfg) == baseline, (
+                f"n_jobs={jobs} candidate_batch={batch} diverged"
+            )
+
+    def test_journal_bytes_identical_across_grid(self, s27, tmp_path):
+        faults = collapse_faults(s27)
+        ref_path = tmp_path / "serial.jsonl"
+        self._run(s27, faults, self.CFG, checkpoint=str(ref_path))
+        reference = ref_path.read_bytes()
+        for jobs, batch in [(2, 8), (4, 1), (4, 8)]:
+            path = tmp_path / f"pool_{jobs}_{batch}.jsonl"
+            cfg = dataclasses.replace(
+                self.CFG, n_jobs=jobs, pool="persistent",
+                candidate_batch=batch,
+            )
+            self._run(s27, faults, cfg, checkpoint=str(path))
+            assert path.read_bytes() == reference, (
+                f"journal diverged at n_jobs={jobs} batch={batch}"
+            )
+
+    def test_legacy_sharded_mode_still_matches(self, s27):
+        faults = collapse_faults(s27)
+        baseline = self._run(s27, faults, self.CFG)
+        cfg = dataclasses.replace(self.CFG, n_jobs=2, pool="sharded")
+        assert self._run(s27, faults, cfg) == baseline

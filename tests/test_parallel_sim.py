@@ -251,3 +251,72 @@ class TestTs0Parallel:
         with sim.sharded(4) as psim:
             parallel = psim.simulate_grouped(ts0, faults)
         assert set(parallel) == set(serial)
+
+
+class TestPicklingDiscipline:
+    """The simulator is serialized exactly once per pool lifetime.
+
+    Historically the serial-rescue path re-pickled the compiled circuit
+    on every fallback dispatch; ``SimulatorPool`` now serializes lazily
+    and exactly once, and a respawn after ``kill()`` reuses the cached
+    payload.  These tests pin that discipline via ``pickle_count``.
+    """
+
+    def test_pickled_once_across_dispatches_and_respawn(self, medium_synth):
+        sim = FaultSimulator(medium_synth)
+        faults = collapse_faults(medium_synth)
+        assert len(faults) > 64  # at least two shards: the pool spawns
+        tests = mixed_tests(medium_synth, 3)
+        with sim.sharded(2) as psim:
+            psim.simulate(tests, faults)
+            psim.simulate(tests, faults)
+            pool = psim._pool
+            assert pool is not None
+            assert pool.pickle_count == 1
+            pool.kill()  # respawn on the next dispatch
+            psim.simulate(tests, faults)
+            assert pool.pickle_count == 1
+
+    def test_unused_pool_never_pickles(self, s27):
+        pool = sharding.SimulatorPool(FaultSimulator(s27), 2)
+        try:
+            assert pool.pickle_count == 0
+        finally:
+            pool.close()
+
+    def test_persistent_pool_publishes_once(self, s27):
+        """The pool evaluator's session state is serialized exactly once
+        (at segment publication), regardless of dispatch count."""
+        import pickle as _pickle
+
+        from repro.core.limited_scan import build_limited_scan_test_set
+        from repro.faults.pool import CandidateEvaluator
+
+        cfg = BistConfig(la=4, lb=8, n=8, n_jobs=2, candidate_batch=4)
+        sim = FaultSimulator(s27)
+        faults = collapse_faults(s27)
+        ts0 = generate_ts0(s27, cfg)
+        counts = {"n": 0}
+        real_dumps = _pickle.dumps
+
+        def counting_dumps(obj, *a, **k):
+            if isinstance(obj, dict) and "simulator" in obj:
+                counts["n"] += 1
+            return real_dumps(obj, *a, **k)
+
+        ev = CandidateEvaluator(
+            sim, ts0, cfg, s27.num_state_vars, None,
+            n_jobs=2, targets=faults, circuit_name=s27.name,
+        )
+        specs = [(1, d1) for d1 in cfg.d1_values[:4]]
+        from repro.faults import pool as pool_mod
+        original = pool_mod.pickle.dumps
+        pool_mod.pickle.dumps = counting_dumps
+        try:
+            with ev:
+                ev.evaluate_specs(specs, faults)
+                ev.evaluate_specs([(2, d1) for d1 in cfg.d1_values[:4]],
+                                  faults)
+        finally:
+            pool_mod.pickle.dumps = original
+        assert counts["n"] <= 1
