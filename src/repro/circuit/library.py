@@ -120,6 +120,27 @@ _MAX_ARITY = {
     GateType.CONST1: 0,
 }
 
+#: Stable integer codes for the struct-of-arrays netlist form.  The codes
+#: are part of the compile-cache payload format: reordering them would
+#: silently reinterpret cached arrays, so only ever *append* new types.
+GATE_CODE = {
+    GateType.AND: 0,
+    GateType.NAND: 1,
+    GateType.OR: 2,
+    GateType.NOR: 3,
+    GateType.XOR: 4,
+    GateType.XNOR: 5,
+    GateType.NOT: 6,
+    GateType.BUF: 7,
+    GateType.CONST0: 8,
+    GateType.CONST1: 9,
+}
+
+#: Inverse of :data:`GATE_CODE`, indexable by code.
+CODE_GATE = tuple(
+    sorted(GATE_CODE, key=GATE_CODE.__getitem__)
+)
+
 #: Names accepted by the ``.bench`` parser, mapped to gate types.
 BENCH_NAMES = {
     "AND": GateType.AND,

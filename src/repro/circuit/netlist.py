@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.circuit.library import GateType
+import numpy as np
+
+from repro.circuit.library import CODE_GATE, GATE_CODE, GateType
 
 
 @dataclass(frozen=True)
@@ -213,8 +215,120 @@ class Circuit:
             and self._gates == other._gates
         )
 
+    def to_arrays(self) -> "NetlistArrays":
+        """Lower to the struct-of-arrays form (see :class:`NetlistArrays`).
+
+        Raises ``KeyError`` if a gate fan-in, flop D pin, or primary
+        output references an undriven net -- the array form indexes nets
+        by driver, so every referenced net must have one.
+        """
+        names = self.signals()
+        index = {name: i for i, name in enumerate(names)}
+        n_gates = len(self._gates)
+        gate_type = np.empty(n_gates, dtype=np.int32)
+        fanin_offset = np.zeros(n_gates + 1, dtype=np.int32)
+        fanin_flat: List[int] = []
+        try:
+            for i, gate in enumerate(self._gates.values()):
+                gate_type[i] = GATE_CODE[gate.gtype]
+                for src in gate.inputs:
+                    fanin_flat.append(index[src])
+                fanin_offset[i + 1] = len(fanin_flat)
+            flop_d = np.array(
+                [index[f.d] for f in self._flops], dtype=np.int32
+            )
+            po = np.array([index[o] for o in self._outputs], dtype=np.int32)
+        except KeyError as exc:
+            raise KeyError(f"undriven net referenced: {exc.args[0]}") from None
+        return NetlistArrays(
+            name=self.name,
+            names=names,
+            n_pi=len(self._inputs),
+            n_ff=len(self._flops),
+            gate_type=gate_type,
+            fanin_offset=fanin_offset,
+            fanin=np.array(fanin_flat, dtype=np.int32),
+            flop_d=flop_d,
+            po=po,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Circuit({self.name!r}, pi={self.num_inputs}, po={self.num_outputs},"
             f" ff={self.num_state_vars}, gates={self.num_gates})"
         )
+
+
+@dataclass
+class NetlistArrays:
+    """Struct-of-arrays netlist: the 100k-gate-capacity compiled form.
+
+    Nets are indexed ``0 .. n_nets-1`` in :meth:`Circuit.signals` order:
+    primary inputs, then flop outputs (scan order), then gate outputs in
+    insertion order -- so gate ``i`` drives net ``n_pi + n_ff + i``.  All
+    arrays are ``int32``: at 100k gates the whole structure is a few
+    megabytes and ships through pickle/shared memory as flat buffers with
+    no per-gate object overhead.
+
+    Attributes:
+        name: circuit name (not part of structural identity).
+        names: net index -> net name.
+        n_pi: number of primary inputs.
+        n_ff: number of flip-flops.
+        gate_type: ``int32[n_gates]`` :data:`~repro.circuit.library.GATE_CODE`
+            per gate.
+        fanin_offset: ``int32[n_gates + 1]`` CSR offsets into ``fanin``.
+        fanin: ``int32[sum(arity)]`` net index of each gate input pin.
+        flop_d: ``int32[n_ff]`` net index of each flop's D pin, scan order.
+        po: ``int32[n_po]`` net index of each primary output.
+    """
+
+    name: str
+    names: List[str]
+    n_pi: int
+    n_ff: int
+    gate_type: np.ndarray
+    fanin_offset: np.ndarray
+    fanin: np.ndarray
+    flop_d: np.ndarray
+    po: np.ndarray
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.names)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_type)
+
+    @property
+    def n_po(self) -> int:
+        return len(self.po)
+
+    def gate_fanin(self, i: int) -> np.ndarray:
+        """Net indices of gate ``i``'s input pins."""
+        return self.fanin[self.fanin_offset[i] : self.fanin_offset[i + 1]]
+
+
+def circuit_from_arrays(arrays: NetlistArrays) -> Circuit:
+    """Rebuild the object-form :class:`Circuit` from its array form.
+
+    Inverse of :meth:`Circuit.to_arrays`: the result is
+    ``structurally_equal`` to the original (and carries its name).
+    """
+    circuit = Circuit(arrays.name)
+    names = arrays.names
+    for i in range(arrays.n_pi):
+        circuit.add_input(names[i])
+    for o in arrays.po:
+        circuit.add_output(names[o])
+    for k in range(arrays.n_ff):
+        circuit.add_flop(names[arrays.n_pi + k], names[arrays.flop_d[k]])
+    first_gate = arrays.n_pi + arrays.n_ff
+    for i in range(arrays.n_gates):
+        circuit.add_gate(
+            names[first_gate + i],
+            CODE_GATE[arrays.gate_type[i]],
+            (names[s] for s in arrays.gate_fanin(i)),
+        )
+    return circuit

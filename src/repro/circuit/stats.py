@@ -47,6 +47,11 @@ def circuit_stats(circuit: Circuit) -> CircuitStats:
             fanout_counts[src] += 1
     for flop in circuit.flops:
         fanout_counts[flop.d] += 1
+    # Primary-output taps load a net too: a net read only as a PO would
+    # otherwise report fanout 0, under-reporting max_fanout on circuits
+    # whose POs tap otherwise-unloaded nets.
+    for net in circuit.outputs:
+        fanout_counts[net] += 1
     max_fanout = max(fanout_counts.values(), default=0)
     return CircuitStats(
         name=circuit.name,

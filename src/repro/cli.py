@@ -166,11 +166,38 @@ def _config_from_args(args: argparse.Namespace) -> BistConfig:
         d1_values=(
             D1_DECREASING if args.d1_order == "decreasing" else D1_INCREASING
         ),
+        max_iterations=args.max_iterations,
         n_jobs=args.jobs,
         pool=args.pool,
         candidate_batch=args.candidate_batch,
         shard_timeout=args.shard_timeout,
         shard_retries=args.shard_retries,
+    )
+
+
+def _bist_from_args(args: argparse.Namespace, circuit: Circuit,
+                    config: BistConfig) -> LimitedScanBist:
+    """Session construction shared by ``run`` and ``first-complete``.
+
+    Wires up the compile cache (``--cache-dir`` or ``$REPRO_CACHE_DIR``)
+    and the target-fault universe.  ``--targets collapsed`` skips the
+    PODEM detectability classification and targets the full collapsed
+    set -- the right choice at real-silicon sizes, where classification
+    costs far more than the fault simulation it would trim.
+    """
+    from repro.circuit.cache import CompileCache
+
+    cache = (
+        CompileCache(args.cache_dir) if args.cache_dir
+        else CompileCache.from_env()
+    )
+    targets = None
+    if args.targets == "collapsed":
+        from repro.faults.collapse import collapse_faults
+
+        targets = collapse_faults(circuit)
+    return LimitedScanBist(
+        circuit, config=config, target_faults=targets, cache=cache
     )
 
 
@@ -180,7 +207,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     circuit = resolve_circuit(args.circuit)
     config = _config_from_args(args)
-    bist = LimitedScanBist(circuit, config=config)
+    bist = _bist_from_args(args, circuit, config)
     if args.checkpoint:
         from repro.core.procedure2 import resume_procedure2, run_procedure2
         from repro.robustness.checkpoint import CheckpointPolicy
@@ -209,7 +236,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_first_complete(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
-    bist = LimitedScanBist(circuit, config=_config_from_args(args))
+    bist = _bist_from_args(args, circuit, _config_from_args(args))
     report = bist.first_complete(max_combos=args.max_combos)
     print(report.row())
     print(report.result.summary())
@@ -354,6 +381,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--shard-retries", type=int, default=2,
                        help="parallel retries for a failed shard before "
                             "it is re-run serially (default: 2)")
+        p.add_argument("--max-iterations", type=int, default=60,
+                       metavar="N", dest="max_iterations",
+                       help="Procedure 2 iteration budget (default 60); "
+                            "a run that exhausts it reports incomplete "
+                            "coverage as data, not an error")
+        p.add_argument("--targets", choices=("detectable", "collapsed"),
+                       default="detectable",
+                       help="fault universe: 'detectable' classifies "
+                            "faults first (PODEM; precise but slow), "
+                            "'collapsed' targets the whole collapsed set "
+                            "(the scalable choice on large circuits)")
+        p.add_argument("--cache-dir", metavar="DIR", dest="cache_dir",
+                       help="compile-cache directory (default: "
+                            "$REPRO_CACHE_DIR if set); circuits are "
+                            "levelized/compiled once per fingerprint")
 
     p = sub.add_parser("run", help="Procedure 2 for one (LA, LB, N)")
     add_bist_args(p)

@@ -12,9 +12,12 @@ graph, collapsed fault list, detectability classification) and exposes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.atpg.classify import Classification, classify_faults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.cache import CompileCache
 from repro.circuit.netlist import Circuit
 from repro.core.config import BistConfig
 from repro.core.metrics import format_optional, human_cycles
@@ -60,10 +63,11 @@ class LimitedScanBist:
         target_faults: Optional[Sequence[Fault]] = None,
         classification_patterns: int = 2048,
         podem_backtrack_limit: int = 1000,
+        cache: Optional["CompileCache"] = None,
     ) -> None:
         self.circuit = circuit
         self.config = config or BistConfig()
-        self.graph = FaultGraph(circuit)
+        self.graph = FaultGraph(circuit, cache=cache)
         self.simulator = FaultSimulator(self.graph)
         self._explicit_targets = (
             list(target_faults) if target_faults is not None else None

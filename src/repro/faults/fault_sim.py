@@ -16,6 +16,7 @@ test a detected fault keeps simulating, which is harmless).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -71,6 +72,16 @@ class DetectionRecord:
     test_index: int
     time_unit: int
     where: str  # 'po', 'limited-scan', or 'scan-out'
+
+    def __post_init__(self) -> None:
+        # One canonical object per observation-point name no matter
+        # which path built the record (serial recorder, pool row
+        # reconstruction, shard merge).  Hyphenated literals are not
+        # auto-interned by CPython, and serialized results are compared
+        # byte-for-byte: a result mixing equal-but-distinct ``where``
+        # strings pickles with a different memo structure than one
+        # sharing a single object.
+        self.where = sys.intern(self.where)
 
 
 @dataclass

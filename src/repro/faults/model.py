@@ -16,9 +16,12 @@ faults with simple per-net masks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.circuit.netlist import Circuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.circuit.cache import CompileCache
 from repro.circuit.transform import (
     decompose_to_two_input,
     insert_fanout_branches,
@@ -93,16 +96,60 @@ class FaultGraph:
     and (2) making fanout branches explicit, then compiling.  Every fault
     of the original circuit maps onto exactly one net of this graph via
     :meth:`signal_of`.
+
+    With a :class:`~repro.circuit.cache.CompileCache` the rewrite and
+    compilation are skipped on a fingerprint hit: the cached compiled
+    state (flat arrays plus the pin/branch maps) is restored directly.
+    The graph also pickles in that lean form -- the object-form circuits
+    ship as struct-of-arrays netlists and are rebuilt lazily, so worker
+    processes never deserialize per-gate object graphs.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
-        self.circuit = circuit
+    def __init__(self, circuit: Circuit, cache: Optional["CompileCache"] = None) -> None:
+        self._circuit: Optional[Circuit] = circuit
+        self._circuit_arrays = None
+        self.cache_hit = False
+        if cache is not None:
+            fingerprint = cache.fingerprint(circuit)
+            state = cache.load(fingerprint)
+            if state is not None:
+                self.__setstate__(state)
+                self._circuit = circuit  # keep the caller's object form
+                self.cache_hit = True
+                return
         decomposed, pin_map = decompose_to_two_input(circuit)
         branched, branch_of = insert_fanout_branches(decomposed)
         self._pin_map = pin_map
         self._branch_of = branch_of
-        self.sim_circuit = branched
         self.model = CompiledModel(branched, decompose=False)
+        if cache is not None:
+            cache.store(fingerprint, self.__getstate__())
+
+    @property
+    def circuit(self) -> Circuit:
+        """The original circuit (rebuilt from arrays after unpickling)."""
+        if self._circuit is None:
+            from repro.circuit.netlist import circuit_from_arrays
+
+            self._circuit = circuit_from_arrays(self._circuit_arrays)
+        return self._circuit
+
+    @property
+    def sim_circuit(self) -> Circuit:
+        """The rewritten (decomposed + branched) circuit the model runs."""
+        return self.model.circuit
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Ship the original circuit as arrays; the branched sim circuit
+        # needs nothing extra -- it is the model's own compiled netlist.
+        if state.get("_circuit") is not None:
+            state["_circuit_arrays"] = state["_circuit"].to_arrays()
+            state["_circuit"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def net_of(self, fault: Fault) -> str:
         """The simulation-graph net on which ``fault`` is an output fault."""

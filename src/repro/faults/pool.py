@@ -59,6 +59,7 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import sys
 import time
 import weakref
 from concurrent.futures import CancelledError, Executor, Future, ProcessPoolExecutor
@@ -76,6 +77,7 @@ from repro.faults.model import Fault
 from repro.faults.sharding import (
     WHERE_RANK,
     RecoveryPolicy,
+    available_cpu_count,
     resolve_n_jobs,
     shard_faults,
 )
@@ -93,8 +95,12 @@ DetectionRow = Tuple[Fault, int, int, int, str]
 #: than the serial run's single shared constant -- breaking byte-for-byte
 #: result identity even though every comparison is equal.  Mapping each
 #: returned ``where`` through this table restores the serial identity
-#: graph.
-_WHERE_CANON = {where: where for where in WHERE_RANK}
+#: graph.  The canonical object is the *interpreter-interned* one --
+#: the same choice ``DetectionRecord`` itself makes -- so rows and
+#: records agree no matter which module's string literal seeded them
+#: (hyphenated literals are not auto-interned, so each module gets its
+#: own copy).
+_WHERE_CANON = {where: sys.intern(where) for where in WHERE_RANK}
 
 #: One candidate test set by seed: ``(iteration, d1)``; ``d1 is None``
 #: denotes ``TS0`` itself.  Procedure 2's candidate sequence is fully
@@ -131,18 +137,28 @@ def reconstruct_hits(
       call order and its word/bit ascending scan.  Position in the
       dispatch-time list orders identically to position in any of its
       ordered subsets, so one ``order`` map serves every ``remaining``.
+
+    Keys and ``DetectionRecord.fault`` are the *caller's* fault objects,
+    not the equal copies that crossed the worker process boundary:
+    serial results alias each fault once (key and record share the
+    object), and aliasing is visible to ``pickle`` -- without interning,
+    a pooled result serializes differently from a byte-identical serial
+    one even though every comparison by value passes.  Interning also
+    drops the unpickled duplicates immediately instead of keeping one
+    extra Fault per detection alive in the table.
     """
-    keep = set(remaining)
+    canon = {fault: fault for fault in remaining}
     best: Dict[Fault, DetectionRow] = {}
     for row in rows:
         fault = row[0]
-        if fault in keep and (fault not in best or row[1] < best[fault][1]):
+        if fault in canon and (fault not in best or row[1] < best[fault][1]):
             best[fault] = row
     hits: Dict[Fault, DetectionRecord] = {}
     for rank in sorted({row[1] for row in best.values()}):
         batch = [row for row in best.values() if row[1] == rank]
         batch.sort(key=lambda r: (r[3], WHERE_RANK[r[4]], order[r[0]]))
         for fault, _rank, test_index, time_unit, where in batch:
+            fault = canon[fault]
             hits[fault] = DetectionRecord(
                 fault=fault,
                 test_index=test_index,
@@ -304,7 +320,7 @@ class PersistentWorkerPool:
             # Never spawn more workers than cores: extra workers cannot
             # add parallelism, but round-robin dispatch across them makes
             # every per-worker cache (test-set, injection) run cold.
-            workers = min(self.n_jobs, max(1, os.cpu_count() or 1))
+            workers = min(self.n_jobs, available_cpu_count())
             self._executor = ProcessPoolExecutor(max_workers=workers)
         return self._executor
 
@@ -634,7 +650,7 @@ class CandidateEvaluator:
         n_words = max(1, (n_faults + 63) // 64)
         if self.shards is not None:
             return max(1, min(self.shards, n_words))
-        cores = max(1, os.cpu_count() or 1)
+        cores = available_cpu_count()
         return max(1, min(self.n_jobs, cores, n_words))
 
     def _rescue_serial(

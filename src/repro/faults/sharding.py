@@ -67,12 +67,26 @@ WHERE_RANK: Dict[str, int] = {
 }
 
 
+def available_cpu_count() -> int:
+    """CPUs actually available to this process (never 0).
+
+    ``os.cpu_count()`` reports the machine's cores, which overcounts --
+    and oversubscribes workers -- under cgroup or CPU-affinity limits
+    (containers, CI runners, ``taskset``).  The scheduler-affinity mask
+    reflects the real allowance, so prefer it where the platform has it.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     """Normalize an ``n_jobs`` knob: ``None``/1 serial, -1 = all cores."""
     if n_jobs is None:
         return 1
     if n_jobs == -1:
-        return max(os.cpu_count() or 1, 1)
+        return available_cpu_count()
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
     return n_jobs

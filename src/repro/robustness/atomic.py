@@ -35,6 +35,17 @@ def atomic_write_text(
     os.replace(tmp, path)
 
 
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Binary counterpart of :func:`atomic_write_text` (same guarantee)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def atomic_write_json(
     path: Union[str, Path],
     obj: Any,

@@ -66,6 +66,26 @@ def fingerprint_faults(faults: Iterable[Fault]) -> str:
     return digest.hexdigest()
 
 
+def circuit_fingerprint(circuit: "Any") -> str:
+    """Content-addressed SHA-256 identity of a circuit's structure.
+
+    Hashes the canonical ``.bench`` serialization
+    (:func:`repro.circuit.bench_parser.write_bench` is a byte-stable
+    fixpoint) with the leading name comment stripped, so the fingerprint
+    tracks structure -- interface order, scan-chain order, and the gate
+    map -- but not what the circuit happens to be called.  Two circuits
+    compare ``structurally_equal`` iff their fingerprints match, which is
+    what lets the compile cache (:mod:`repro.circuit.cache`) share
+    artifacts across sessions and machines.
+    """
+    from repro.circuit.bench_parser import write_bench
+
+    text = write_bench(circuit)
+    if text.startswith("#"):
+        text = text[text.index("\n") + 1 :]
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def session_fingerprint(
     circuit_name: str, config: "Any", target_faults: Iterable[Fault]
 ) -> str:

@@ -7,6 +7,14 @@ live in a ``(n_signals, n_words)`` ``uint64`` matrix; every bit of every
 word is an independent machine copy (a fault machine for the parallel-fault
 simulator, a pattern for the pattern-parallel simulator).
 
+The model is built *from* the struct-of-arrays netlist form
+(:meth:`Circuit.to_arrays`): kernel construction is vectorized over int32
+gate-type/fanin arrays rather than per-gate Python objects, and the model
+pickles as those flat arrays -- the object-form :class:`Circuit` and the
+name-keyed ``signal_index`` are rebuilt lazily on first access, so
+shipping a compiled model to worker processes never serializes a per-gate
+object graph.
+
 Fault injection is expressed as :class:`Injections`: per evaluation level,
 ``vals[sig, word] = (vals[sig, word] & and_mask) | or_mask`` applied with a
 single fancy-indexed statement, so a stuck-at fault forces its bit both
@@ -16,13 +24,13 @@ when the signal is produced and before anything consumes it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.circuit.levelize import levelize
-from repro.circuit.library import ALL_ONES, GateType
-from repro.circuit.netlist import Circuit
+from repro.circuit.levelize import levelize_arrays
+from repro.circuit.library import ALL_ONES, GATE_CODE, GateType
+from repro.circuit.netlist import Circuit, NetlistArrays, circuit_from_arrays
 from repro.circuit.transform import decompose_to_two_input
 
 
@@ -158,121 +166,183 @@ class Injections:
         return max(self.per_level, default=-1)
 
 
+# Gate-code partitions the fused kernels are built from.  Codes are the
+# stable ints of :data:`repro.circuit.library.GATE_CODE`.
+_CODE_AND = GATE_CODE[GateType.AND]
+_CODE_NAND = GATE_CODE[GateType.NAND]
+_CODE_OR = GATE_CODE[GateType.OR]
+_CODE_NOR = GATE_CODE[GateType.NOR]
+_CODE_XOR = GATE_CODE[GateType.XOR]
+_CODE_XNOR = GATE_CODE[GateType.XNOR]
+_CODE_NOT = GATE_CODE[GateType.NOT]
+_CODE_BUF = GATE_CODE[GateType.BUF]
+_CODE_CONST0 = GATE_CODE[GateType.CONST0]
+_CODE_CONST1 = GATE_CODE[GateType.CONST1]
+
+
 class CompiledModel:
     """A circuit compiled for bit-parallel evaluation.
 
     Signals are indexed ``0 .. n_signals-1``; the index arrays ``pi_idx``,
     ``q_idx``, ``d_idx`` and ``po_idx`` locate primary inputs, flop outputs
     (scan order), flop D nets (scan order) and primary outputs.
+
+    Signal order is primary inputs, flop outputs (scan order), then gate
+    outputs in topological order (levels ascending, circuit insertion
+    order within a level) -- the historical order every downstream
+    byte-identity guarantee is pinned to.
     """
 
     def __init__(self, circuit: Circuit, decompose: bool = True) -> None:
         pin_map = None
         if decompose and any(len(g.inputs) > 2 for g in circuit.iter_gates()):
             circuit, pin_map = decompose_to_two_input(circuit)
-        self.circuit = circuit
         self.pin_map = pin_map  # None means identity
+        self._circuit: Optional[Circuit] = circuit
+        self._signal_names: Optional[List[str]] = None
+        self._signal_index: Optional[Dict[str, int]] = None
+        self._build(circuit.to_arrays())
 
-        lev = levelize(circuit)
-        self.depth = lev.depth
+    def _build(self, arrays: NetlistArrays) -> None:
+        self.arrays = arrays
+        la = levelize_arrays(arrays)
+        self.depth = la.depth
+        first_gate = arrays.n_pi + arrays.n_ff
+        n_nets = arrays.n_nets
+        n_gates = arrays.n_gates
+        self.n_signals = n_nets
 
-        names: List[str] = circuit.inputs + circuit.state_vars + [
-            g.output for g in lev.order
-        ]
-        self.signal_index: Dict[str, int] = {n: i for i, n in enumerate(names)}
-        self.signal_names: List[str] = names
-        self.n_signals = len(names)
+        # Net index -> signal index: PIs and flop outputs are identity,
+        # gate outputs are permuted into topological order.
+        sig_of_net = np.empty(n_nets, dtype=np.intp)
+        sig_of_net[:first_gate] = np.arange(first_gate, dtype=np.intp)
+        sig_of_net[first_gate + la.order.astype(np.intp)] = np.arange(
+            first_gate, n_nets, dtype=np.intp
+        )
+        self._order = la.order
 
-        idx = self.signal_index
-        self.pi_idx = np.array([idx[n] for n in circuit.inputs], dtype=np.intp)
-        self.q_idx = np.array([idx[n] for n in circuit.state_vars], dtype=np.intp)
-        self.d_idx = np.array([idx[n] for n in circuit.next_state_nets], dtype=np.intp)
-        self.po_idx = np.array([idx[n] for n in circuit.outputs], dtype=np.intp)
+        self.pi_idx = np.arange(arrays.n_pi, dtype=np.intp)
+        self.q_idx = np.arange(arrays.n_pi, first_gate, dtype=np.intp)
+        self.d_idx = sig_of_net[arrays.flop_d]
+        self.po_idx = sig_of_net[arrays.po]
 
         #: level of each signal (0 for PIs and flop outputs).
-        self.level_of_signal = np.zeros(self.n_signals, dtype=np.intp)
-        for name, lvl in lev.level_of.items():
-            self.level_of_signal[idx[name]] = lvl
+        self.level_of_signal = np.zeros(n_nets, dtype=np.intp)
+        self.level_of_signal[sig_of_net] = la.level_of.astype(np.intp)
 
+        # First/second fan-in pin per gate (unused slots stay 0; arity is
+        # <= 2 on this path -- wider gates were decomposed above, and the
+        # historical kernels only ever read pins 0 and 1).
+        starts = arrays.fanin_offset[:-1].astype(np.int64)
+        arity = np.diff(arrays.fanin_offset)
+        pin0 = np.zeros(n_gates, dtype=np.int64)
+        pin1 = np.zeros(n_gates, dtype=np.int64)
+        has0 = arity >= 1
+        has1 = arity >= 2
+        if len(arrays.fanin):
+            pin0[has0] = arrays.fanin[starts[has0]]
+            pin1[has1] = arrays.fanin[starts[has1] + 1]
+
+        gt = arrays.gate_type
+        ones, zero = ALL_ONES, np.uint64(0)
         self._levels: List[List[_OpGroup]] = []
-        for level_gates in lev.levels:
-            buckets: Dict[str, List[Gate]] = {"and2": [], "xor2": [], "unary": [], "const": []}
-            for gate in level_gates:
-                base = gate.gtype.base
-                if base in (GateType.AND, GateType.OR):
-                    buckets["and2"].append(gate)
-                elif base is GateType.XOR:
-                    buckets["xor2"].append(gate)
-                elif base is GateType.BUF:
-                    buckets["unary"].append(gate)
-                else:
-                    buckets["const"].append(gate)
+        for lvl in range(la.depth):
+            gidx = la.order[la.level_offset[lvl] : la.level_offset[lvl + 1]]
+            codes = gt[gidx]
             ops: List[_OpGroup] = []
-            ones, zero = ALL_ONES, np.uint64(0)
-            if buckets["and2"]:
-                gates = buckets["and2"]
+
+            m = codes <= _CODE_NOR  # AND/NAND/OR/NOR
+            if m.any():
+                g, c = gidx[m], codes[m]
                 # De Morgan: OR(a,b) = ~(~a & ~b), so the OR family gets
                 # input inversion and flipped output inversion.
-                ia, ib, io = [], [], []
-                for g in gates:
-                    is_or = g.gtype.base is GateType.OR
-                    ia.append(ones if is_or else zero)
-                    ib.append(ones if is_or else zero)
-                    io.append(ones if is_or ^ g.gtype.is_inverting else zero)
+                is_or = c >= _CODE_OR
+                inverting = (c == _CODE_NAND) | (c == _CODE_NOR)
+                ia = np.where(is_or, ones, zero)
                 ops.append(
                     _OpGroup(
                         kind="and2",
-                        dst=np.array([idx[g.output] for g in gates], dtype=np.intp),
-                        src1=np.array([idx[g.inputs[0]] for g in gates], dtype=np.intp),
-                        src2=np.array([idx[g.inputs[1]] for g in gates], dtype=np.intp),
-                        ia=np.array(ia, dtype=np.uint64),
-                        ib=np.array(ib, dtype=np.uint64),
-                        io=np.array(io, dtype=np.uint64),
+                        dst=sig_of_net[first_gate + g],
+                        src1=sig_of_net[pin0[g]],
+                        src2=sig_of_net[pin1[g]],
+                        ia=ia,
+                        ib=ia.copy(),
+                        io=np.where(is_or ^ inverting, ones, zero),
                     )
                 )
-            if buckets["xor2"]:
-                gates = buckets["xor2"]
+            m = (codes == _CODE_XOR) | (codes == _CODE_XNOR)
+            if m.any():
+                g, c = gidx[m], codes[m]
                 ops.append(
                     _OpGroup(
                         kind="xor2",
-                        dst=np.array([idx[g.output] for g in gates], dtype=np.intp),
-                        src1=np.array([idx[g.inputs[0]] for g in gates], dtype=np.intp),
-                        src2=np.array([idx[g.inputs[1]] for g in gates], dtype=np.intp),
-                        io=np.array(
-                            [ones if g.gtype.is_inverting else zero for g in gates],
-                            dtype=np.uint64,
-                        ),
+                        dst=sig_of_net[first_gate + g],
+                        src1=sig_of_net[pin0[g]],
+                        src2=sig_of_net[pin1[g]],
+                        io=np.where(c == _CODE_XNOR, ones, zero),
                     )
                 )
-            if buckets["unary"]:
-                gates = buckets["unary"]
+            m = (codes == _CODE_NOT) | (codes == _CODE_BUF)
+            if m.any():
+                g, c = gidx[m], codes[m]
                 ops.append(
                     _OpGroup(
                         kind="unary",
-                        dst=np.array([idx[g.output] for g in gates], dtype=np.intp),
-                        src1=np.array([idx[g.inputs[0]] for g in gates], dtype=np.intp),
-                        io=np.array(
-                            [ones if g.gtype.is_inverting else zero for g in gates],
-                            dtype=np.uint64,
-                        ),
+                        dst=sig_of_net[first_gate + g],
+                        src1=sig_of_net[pin0[g]],
+                        io=np.where(c == _CODE_NOT, ones, zero),
                     )
                 )
-            if buckets["const"]:
-                gates = buckets["const"]
+            m = codes >= _CODE_CONST0  # CONST0/CONST1
+            if m.any():
+                g, c = gidx[m], codes[m]
                 ops.append(
                     _OpGroup(
                         kind="const",
-                        dst=np.array([idx[g.output] for g in gates], dtype=np.intp),
-                        io=np.array(
-                            [
-                                ones if g.gtype is GateType.CONST1 else zero
-                                for g in gates
-                            ],
-                            dtype=np.uint64,
-                        ),
+                        dst=sig_of_net[first_gate + g],
+                        io=np.where(c == _CODE_CONST1, ones, zero),
                     )
                 )
             self._levels.append(ops)
+
+    # ------------------------------------------------------------------
+    # Lazily rebuilt object-form views (dropped from pickles).
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> Circuit:
+        """The compiled circuit in object form (rebuilt after unpickling)."""
+        if self._circuit is None:
+            self._circuit = circuit_from_arrays(self.arrays)
+        return self._circuit
+
+    @property
+    def signal_names(self) -> List[str]:
+        """Signal index -> net name."""
+        if self._signal_names is None:
+            names = self.arrays.names
+            first_gate = self.arrays.n_pi + self.arrays.n_ff
+            self._signal_names = list(names[:first_gate]) + [
+                names[first_gate + g] for g in self._order
+            ]
+        return self._signal_names
+
+    @property
+    def signal_index(self) -> Dict[str, int]:
+        """Net name -> signal index."""
+        if self._signal_index is None:
+            self._signal_index = {
+                n: i for i, n in enumerate(self.signal_names)
+            }
+        return self._signal_index
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Ship only the flat arrays: the object-form circuit and the
+        # name-keyed maps are derived views, rebuilt on demand.
+        state = self.__dict__.copy()
+        state["_circuit"] = None
+        state["_signal_names"] = None
+        state["_signal_index"] = None
+        return state
 
     # ------------------------------------------------------------------
     def alloc(self, n_words: int) -> np.ndarray:

@@ -1,0 +1,134 @@
+"""CI gate: the largest catalog circuit must compile inside a memory budget.
+
+Runs the whole capacity pipeline for the largest vendored circuit --
+``.bench`` ingest, struct-of-arrays conversion, array levelization,
+fault-graph compilation, and a small simulation probe -- in a forked
+child under ``RLIMIT_AS`` and a wall-clock budget, reusing the fuzz
+sandbox (:func:`repro.fuzz.sandbox.run_sandboxed`).  The child reports
+its peak RSS, which the parent checks against a separate RSS budget: the
+address-space limit catches runaway allocation at the kernel level, the
+RSS check catches slow regressions that still fit the hard limit.
+
+Prints a JSON verdict either way.  Exit codes: 0 pass, 1 budget or
+structural contract failure, 2 the sandbox killed the child (timeout,
+OOM, crash).
+
+Usage::
+
+    PYTHONPATH=src python tools/scale_smoke.py [--circuit s38417]
+        [--mem-mb 2048] [--rss-budget-mb 1024] [--timeout 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from typing import Any, Dict, Optional, Sequence
+
+
+def _case(name: str) -> Dict[str, Any]:
+    """Runs inside the sandboxed child: ingest, compile, probe, report."""
+    from repro.bench_circuits.catalog import load_circuit
+    from repro.circuit.levelize import levelize_arrays
+    from repro.core.config import BistConfig
+    from repro.core.test_set import generate_ts0
+    from repro.faults.fault_sim import FaultSimulator
+    from repro.faults.model import FaultGraph, generate_faults
+
+    t0 = time.perf_counter()
+    circuit = load_circuit(name)
+    load_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    arrays = circuit.to_arrays()
+    la = levelize_arrays(arrays)
+    levelize_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    graph = FaultGraph(circuit)
+    compile_s = time.perf_counter() - t0
+
+    # Tiny end-to-end probe: the compiled kernels must actually run and
+    # detect something.  A couple hundred faults against a handful of
+    # random tests reliably yields detections on any real circuit.
+    cfg = BistConfig(la=8, lb=16, n=4)
+    ts0 = generate_ts0(circuit, cfg)
+    faults = generate_faults(circuit)[:256]
+    t0 = time.perf_counter()
+    hits = FaultSimulator(graph).simulate_grouped(ts0, faults)
+    probe_s = time.perf_counter() - t0
+
+    return {
+        "circuit": name,
+        "gates": circuit.num_gates,
+        "nets": arrays.n_nets,
+        "depth": int(la.depth),
+        "probe_faults_detected": len(hits),
+        "load_seconds": round(load_s, 3),
+        "levelize_seconds": round(levelize_s, 3),
+        "compile_seconds": round(compile_s, 3),
+        "probe_seconds": round(probe_s, 3),
+        "maxrss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+        ),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--circuit", default="s38417",
+        help="catalog circuit to compile (default: the largest, s38417)",
+    )
+    parser.add_argument(
+        "--mem-mb", type=int, default=2048,
+        help="hard RLIMIT_AS address-space budget for the child (MiB)",
+    )
+    parser.add_argument(
+        "--rss-budget-mb", type=int, default=1024,
+        help="peak-RSS budget the child must stay under (MiB)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="wall-clock budget for the child (seconds)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    from repro.fuzz.sandbox import STATUS_OK, run_sandboxed
+
+    verdict = run_sandboxed(
+        _case, (args.circuit,),
+        timeout_s=args.timeout,
+        mem_bytes=args.mem_mb * 1024 * 1024,
+    )
+    report: Dict[str, Any] = {
+        "status": verdict.status,
+        "detail": verdict.detail,
+        "mem_mb": args.mem_mb,
+        "rss_budget_mb": args.rss_budget_mb,
+        "payload": verdict.payload,
+    }
+    if verdict.status != STATUS_OK:
+        report["pass"] = False
+        print(json.dumps(report, indent=2))
+        return 2
+    payload = verdict.payload or {}
+    failures = []
+    if payload.get("probe_faults_detected", 0) <= 0:
+        failures.append("simulation probe detected nothing")
+    if payload.get("maxrss_mb", float("inf")) > args.rss_budget_mb:
+        failures.append(
+            f"peak RSS {payload.get('maxrss_mb')}MB exceeds "
+            f"{args.rss_budget_mb}MB budget"
+        )
+    report["pass"] = not failures
+    report["failures"] = failures
+    print(json.dumps(report, indent=2))
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
