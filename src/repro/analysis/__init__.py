@@ -8,15 +8,32 @@ Two layers of pre-simulation checking, built on a shared rule registry:
   crash or mis-simulate.
 - :mod:`repro.analysis.testability` -- ``T###`` rules: SCOAP-based
   random-pattern-resistance, untestable nets, unobservable scan
-  positions, fanout statistics.  WARNINGs here predict wasted
+  positions, fanout statistics, plus COP-based RPR fault prediction
+  and state-bit scan-benefit ranking.  WARNINGs here predict wasted
   fault-simulation effort before a single cycle is spent.
+- :mod:`repro.analysis.cop` -- the vectorized COP testability engine
+  behind T005/T006 and ``repro analyze``: per-net controllability/
+  observability, per-fault detection-probability estimates, RPR
+  classification, and state-bit scan-benefit scores, all computed in
+  two levelized numpy sweeps over the array netlist form.
+- :mod:`repro.analysis.validation` -- the differential harness that
+  cross-checks COP estimates against simulator-measured detection.
 
 Entry points: :func:`lint_circuit` (everything), :func:`lint_structural`
 (the cheap errors-only gate used by Procedure 2 and the experiment
-runner), and ``repro lint`` on the command line.  The companion
-*codebase* determinism linter lives in ``tools/detlint.py``.
+runner), :func:`analyze_circuit` / ``repro analyze`` for the
+testability report, and ``repro lint`` on the command line.  The
+companion *codebase* determinism linter lives in ``tools/detlint.py``.
 """
 
+from repro.analysis.cop import (
+    DEFAULT_RPR_THRESHOLD,
+    CopMeasures,
+    TestabilityAnalysis,
+    analyze_circuit,
+    compute_cop,
+    testability_d1_order,
+)
 from repro.analysis.lint import (
     CATALOG_SUPPRESSIONS,
     lint_circuit,
@@ -25,6 +42,7 @@ from repro.analysis.lint import (
     testability_rules,
 )
 from repro.analysis.report import LintError, LintReport
+from repro.analysis.validation import ValidationReport, spearman, validate_cop
 from repro.analysis.rules import (
     AnalysisContext,
     LintIssue,
@@ -39,17 +57,26 @@ from repro.analysis.rules import (
 __all__ = [
     "AnalysisContext",
     "CATALOG_SUPPRESSIONS",
+    "CopMeasures",
+    "DEFAULT_RPR_THRESHOLD",
     "LintError",
     "LintIssue",
     "LintOptions",
     "LintReport",
     "Rule",
     "Severity",
+    "TestabilityAnalysis",
+    "ValidationReport",
     "all_rules",
+    "analyze_circuit",
+    "compute_cop",
     "get_rule",
     "lint_circuit",
     "lint_structural",
     "register",
+    "spearman",
     "structural_rules",
+    "testability_d1_order",
     "testability_rules",
+    "validate_cop",
 ]

@@ -1,0 +1,652 @@
+"""Vectorized COP testability engine over the struct-of-arrays netlist.
+
+COP-style analysis assigns every net two probabilities under uniform
+random patterns on the primary inputs and the (full-scan) state:
+
+- ``C1(net)`` -- probability the net carries logic 1,
+- ``O(net)``  -- probability a value change on the net propagates to an
+  observation point (a primary output or a flop D pin, which full scan
+  makes directly observable).
+
+Both are computed by single levelized numpy sweeps over
+:class:`~repro.circuit.netlist.NetlistArrays` -- one forward pass for
+controllability, one backward for observability, no per-gate Python
+objects -- so a 20k-gate ISCAS-89 circuit analyzes in well under a
+second.  The recurrences treat gate inputs as independent (exact on
+fanout-free cones, an approximation under reconvergent fanout):
+
+    AND:  C1 = prod C1_i              OR:  C1 = 1 - prod (1 - C1_i)
+    XOR:  C1 = (1 - prod (1 - 2 C1_i)) / 2     (odd-parity closed form)
+    inverting gates: 1 - base;  CONST0/CONST1: 0 / 1
+
+    O(pin i of AND gate) = O(out) * prod_{j != i} C1_j
+    O(pin i of OR  gate) = O(out) * prod_{j != i} (1 - C1_j)
+    O(pin i of XOR/BUF)  = O(out)
+    O(stem) = max over fan-out branch pins (plus 1 if PO / flop D)
+
+A stuck-at-``v`` fault is detected by one random pattern with probability
+``p = C_{1-v}(site) * O(line)``; faults with ``p`` below a threshold are
+random-pattern resistant (RPR) -- exactly the population the paper's
+limited-scan schedules exist to reach.  :func:`analyze_circuit` packages
+the per-fault estimates, expected test length, and a per-scan-position
+*benefit* ranking (which state bits the RPR faults depend on for control
+or observation) into a :class:`TestabilityAnalysis` report.  The sweeps
+are keyed by ``circuit_fingerprint`` so a
+:class:`~repro.circuit.cache.CompileCache` memoizes them across
+sessions, same as the simulator's compiled state.
+
+The SCOAP machinery in :mod:`repro.atpg.scoap` answers the dual
+*deterministic* question (how many backtrace assignments a PODEM-style
+engine needs); COP answers the *probabilistic* one (how long random
+patterns take), which is the signal Procedure 2's
+``candidate_bias="testability"`` mode consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.levelize import LevelArrays, levelize_arrays
+from repro.circuit.library import CODE_GATE, GateType
+from repro.circuit.netlist import Circuit, NetlistArrays
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.circuit.cache import CompileCache
+    from repro.faults.model import Fault
+
+#: Bump whenever the cached sweep-array layout changes incompatibly;
+#: part of the compile-cache key (see :func:`cop_cache_key`).
+COP_FORMAT_VERSION = 1
+
+#: Detection probability below which a fault counts as random-pattern
+#: resistant.  At p = 1e-3 the expected wait for one detecting pattern is
+#: 1000 patterns -- a fault the paper's default budget (N=64 patterns per
+#: test set) is unlikely to reach without a limited-scan schedule.
+DEFAULT_RPR_THRESHOLD = 1e-3
+
+#: JSON schema version of :meth:`TestabilityAnalysis.to_dict` payloads.
+ANALYZE_SCHEMA_VERSION = 1
+
+# Gate "kinds" the sweeps branch on, derived from GateType.base.  BUF and
+# NOT fold into the AND kind: a product over one input is the input, and
+# an empty "other inputs" product is 1 -- both recurrences degenerate
+# correctly.
+_K_AND, _K_OR, _K_XOR, _K_C0, _K_C1 = range(5)
+_KIND_OF_BASE = {
+    GateType.AND: _K_AND,
+    GateType.BUF: _K_AND,
+    GateType.OR: _K_OR,
+    GateType.XOR: _K_XOR,
+    GateType.CONST0: _K_C0,
+    GateType.CONST1: _K_C1,
+}
+#: Gate code -> sweep kind, indexable by the int32 ``gate_type`` array.
+_KIND = np.array([_KIND_OF_BASE[gt.base] for gt in CODE_GATE], dtype=np.int8)
+#: Gate code -> output inversion flag.
+_INVERTS = np.array([gt.is_inverting for gt in CODE_GATE], dtype=bool)
+
+
+def cop_cache_key(fingerprint: str) -> str:
+    """Compile-cache key of the COP sweep arrays for a circuit."""
+    return f"{fingerprint}-cop{COP_FORMAT_VERSION}"
+
+
+@dataclass
+class CopMeasures:
+    """Raw per-net/per-pin sweep results (pure function of structure).
+
+    Attributes:
+        c1: ``float64[n_nets]`` 1-controllability per net.
+        obs: ``float64[n_nets]`` observability of each net's stem.
+        edge_obs: ``float64[n_edges]`` observability through each gate
+            input pin, aligned with ``NetlistArrays.fanin``.
+        ctrl_support: ``uint64[n_nets, W]`` packed bitset: bit ``k`` set
+            iff the net combinationally depends on state bit ``k``.
+            ``None`` when the circuit has no flip-flops.
+        obs_support: ``uint64[n_nets, W]`` packed bitset: bit ``k`` set
+            iff the net structurally reaches flop ``k``'s D pin.
+    """
+
+    c1: np.ndarray
+    obs: np.ndarray
+    edge_obs: np.ndarray
+    ctrl_support: Optional[np.ndarray]
+    obs_support: Optional[np.ndarray]
+
+    def to_state(self) -> Dict[str, object]:
+        """Compile-cache payload (flat arrays only, no object graphs)."""
+        return {
+            "c1": self.c1,
+            "obs": self.obs,
+            "edge_obs": self.edge_obs,
+            "ctrl_support": self.ctrl_support,
+            "obs_support": self.obs_support,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "CopMeasures":
+        return cls(**state)  # type: ignore[arg-type]
+
+
+class _SweepPlan:
+    """Per-level CSR gathers shared by every sweep over one netlist."""
+
+    def __init__(self, arrays: NetlistArrays, levels: LevelArrays) -> None:
+        self.arrays = arrays
+        first_gate = arrays.first_gate
+        self.levels: List[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        off = levels.level_offset
+        for k in range(levels.depth):
+            gs = levels.order[off[k] : off[k + 1]].astype(np.int64)
+            edges, counts, seg, edge_pos = arrays.gather_fanin(gs)
+            outs = first_gate + gs
+            self.levels.append((gs, edges, counts, seg, edge_pos, outs))
+
+
+def _segment_reduce(ufunc, values, seg, n_segments, empty):
+    """``ufunc.reduceat`` over CSR segments, tolerating empty segments.
+
+    numpy's ``reduceat`` misbehaves on empty segments (it returns
+    ``a[i]``, or raises when ``i == len(a)``), so the reduction runs over
+    the non-empty segments only -- consecutive non-empty starts bound
+    exactly the right spans -- and empty ones (zero-arity CONST gates)
+    are filled with the identity ``empty``.
+    """
+    counts = seg[1:] - seg[:-1]
+    nonempty = counts > 0
+    if nonempty.all():
+        return ufunc.reduceat(values, seg[:-1])
+    out = np.full(n_segments, empty, dtype=values.dtype)
+    if nonempty.any():
+        out[nonempty] = ufunc.reduceat(values, seg[:-1][nonempty])
+    return out
+
+
+def compute_cop(
+    arrays: NetlistArrays,
+    levels: Optional[LevelArrays] = None,
+    supports: bool = True,
+) -> CopMeasures:
+    """Run the COP sweeps over ``arrays`` (see the module docstring).
+
+    ``supports=False`` skips the state-bit support bitsets (the only part
+    whose memory grows with ``n_ff``); controllability/observability are
+    always computed.
+    """
+    levels = levels if levels is not None else levelize_arrays(arrays)
+    plan = _SweepPlan(arrays, levels)
+    n_nets = arrays.n_nets
+    gate_type = arrays.gate_type
+
+    # ---- forward sweep: 1-controllability -----------------------------
+    c1 = np.zeros(n_nets, dtype=np.float64)
+    c1[: arrays.first_gate] = 0.5  # PIs and scanned state: fair coins
+    for gs, edges, counts, seg, _epos, outs in plan.levels:
+        kinds = _KIND[gate_type[gs]]
+        ekinds = np.repeat(kinds, counts)
+        ec = c1[edges]
+        val = np.where(
+            ekinds == _K_OR,
+            1.0 - ec,
+            np.where(ekinds == _K_XOR, 1.0 - 2.0 * ec, ec),
+        )
+        agg = _segment_reduce(np.multiply, val, seg, len(gs), 1.0)
+        base = np.where(
+            kinds == _K_OR,
+            1.0 - agg,
+            np.where(kinds == _K_XOR, (1.0 - agg) / 2.0, agg),
+        )
+        base = np.where(kinds == _K_C0, 0.0, base)
+        base = np.where(kinds == _K_C1, 1.0, base)
+        c1[outs] = np.where(_INVERTS[gate_type[gs]], 1.0 - base, base)
+
+    # ---- backward sweep: observability --------------------------------
+    # Observation points seed the sweep; every consumer of a net sits at
+    # a strictly higher level, so descending level order finalizes each
+    # gate's output observability before its input pins are derived.
+    obs = np.zeros(n_nets, dtype=np.float64)
+    obs[arrays.po] = 1.0
+    obs[arrays.flop_d] = 1.0
+    edge_obs = np.zeros(len(arrays.fanin), dtype=np.float64)
+    for gs, edges, counts, seg, epos, outs in reversed(plan.levels):
+        if len(edges) == 0:
+            continue
+        kinds = _KIND[gate_type[gs]]
+        ekinds = np.repeat(kinds, counts)
+        ec = c1[edges]
+        # Per-pin "this pin is non-controlling" probability; XOR/BUF pins
+        # always propagate, so their weight is 1.
+        w = np.where(
+            ekinds == _K_AND, ec, np.where(ekinds == _K_OR, 1.0 - ec, 1.0)
+        )
+        # prod_{j != i} w_j with exact zero handling: one blocked sibling
+        # pin kills propagation for every *other* pin, two kill all.
+        zero = w == 0.0
+        nz = _segment_reduce(np.add, zero.astype(np.int64), seg, len(gs), 0)
+        prodnz = _segment_reduce(
+            np.multiply, np.where(zero, 1.0, w), seg, len(gs), 1.0
+        )
+        g_nz = np.repeat(nz, counts)
+        g_prod = np.repeat(prodnz, counts)
+        others = np.zeros(len(edges), dtype=np.float64)
+        m = g_nz == 0
+        others[m] = g_prod[m] / w[m]
+        m = (g_nz == 1) & zero
+        others[m] = g_prod[m]
+        eo = np.repeat(obs[outs], counts) * others
+        edge_obs[epos] = eo
+        np.maximum.at(obs, edges, eo)
+
+    # ---- state-bit support bitsets ------------------------------------
+    ctrl_support = obs_support = None
+    if supports and arrays.n_ff > 0:
+        ctrl_support, obs_support = _support_sweeps(arrays, plan)
+
+    return CopMeasures(
+        c1=c1,
+        obs=obs,
+        edge_obs=edge_obs,
+        ctrl_support=ctrl_support,
+        obs_support=obs_support,
+    )
+
+
+def _support_sweeps(
+    arrays: NetlistArrays, plan: _SweepPlan
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Packed reachability bitsets: net <-> scan-cell dependence.
+
+    ``ctrl_support[net]`` has bit ``k`` set iff state bit ``k`` is in the
+    net's combinational fan-in cone; ``obs_support[net]`` iff the net
+    reaches flop ``k``'s D pin through some combinational path.  Both are
+    structural (no probabilities), one OR-reduce per level.
+    """
+    n_ff = arrays.n_ff
+    n_words = (n_ff + 63) // 64
+    k = np.arange(n_ff, dtype=np.int64)
+    bit = np.left_shift(np.uint64(1), (k % 64).astype(np.uint64))
+
+    ctrl = np.zeros((arrays.n_nets, n_words), dtype=np.uint64)
+    ctrl[arrays.n_pi + k, k // 64] = bit
+    for gs, edges, counts, seg, _epos, outs in plan.levels:
+        if len(edges) == 0:
+            ctrl[outs] = 0
+            continue
+        nonempty = counts > 0
+        red = np.zeros((len(gs), n_words), dtype=np.uint64)
+        red[nonempty] = np.bitwise_or.reduceat(
+            ctrl[edges], seg[:-1][nonempty], axis=0
+        )
+        ctrl[outs] = red
+
+    obs_rows = np.zeros((n_ff, n_words), dtype=np.uint64)
+    obs_rows[k, k // 64] = bit
+    osup = np.zeros((arrays.n_nets, n_words), dtype=np.uint64)
+    np.bitwise_or.at(osup, arrays.flop_d.astype(np.int64), obs_rows)
+    for gs, edges, counts, _seg, _epos, outs in reversed(plan.levels):
+        if len(edges) == 0:
+            continue
+        np.bitwise_or.at(
+            osup, edges, np.repeat(osup[outs], counts, axis=0)
+        )
+    return ctrl, osup
+
+
+def fault_detection_probabilities(
+    arrays: NetlistArrays,
+    measures: CopMeasures,
+    faults: Sequence["Fault"],
+) -> np.ndarray:
+    """Estimated single-pattern detection probability per fault.
+
+    ``p = C_{1-v}(site) * O(line)`` where the line is the fault's stem or
+    the specific consumer pin for a branch fault; a branch on a flop's D
+    pin is directly scanned out, so its observability is 1.
+    """
+    index = {name: i for i, name in enumerate(arrays.names)}
+    first_gate = arrays.first_gate
+    n_pi, n_ff = arrays.n_pi, arrays.n_ff
+    offsets = arrays.fanin_offset
+    p = np.empty(len(faults), dtype=np.float64)
+    for i, fault in enumerate(faults):
+        site = index[fault.site]
+        activation = 1.0 - measures.c1[site] if fault.value else measures.c1[site]
+        if fault.consumer is None:
+            observe = measures.obs[site]
+        else:
+            cix = index[fault.consumer]
+            if n_pi <= cix < n_pi + n_ff:
+                observe = 1.0  # flop D pin: scanned out directly
+            else:
+                observe = measures.edge_obs[offsets[cix - first_gate] + fault.pin]
+        p[i] = activation * observe
+    return p
+
+
+def state_bit_benefit(
+    arrays: NetlistArrays,
+    measures: CopMeasures,
+    faults: Sequence["Fault"],
+    rpr_mask: np.ndarray,
+) -> np.ndarray:
+    """Score each scan position by how much the RPR faults depend on it.
+
+    Every RPR fault contributes one unit of credit, split half toward
+    *controlling* its activation (spread evenly over the state bits in
+    the site's fan-in cone) and half toward *observing* it (spread over
+    the scan cells its effect can reach; a branch fault on a flop D pin
+    credits that flop alone).  High-benefit positions are the state bits
+    a limited-scan schedule should randomize or observe first -- the
+    ranking ``candidate_bias="testability"`` consumes.
+    """
+    n_ff = arrays.n_ff
+    benefit = np.zeros(n_ff, dtype=np.float64)
+    if n_ff == 0 or measures.ctrl_support is None or not rpr_mask.any():
+        return benefit
+    index = {name: i for i, name in enumerate(arrays.names)}
+    n_pi = arrays.n_pi
+
+    crows: List[int] = []
+    orows: List[int] = []  # -1: no row, credit a single flop instead
+    direct_flop: List[int] = []
+    for i in np.flatnonzero(rpr_mask):
+        fault = faults[i]
+        site = index[fault.site]
+        crows.append(site)
+        if fault.consumer is None:
+            orows.append(site)
+        else:
+            cix = index[fault.consumer]
+            if n_pi <= cix < n_pi + n_ff:
+                orows.append(-1)
+                direct_flop.append(cix - n_pi)
+            else:
+                orows.append(cix)
+
+    for rows_src, selector, weight in (
+        (measures.ctrl_support, np.asarray(crows, dtype=np.int64), 0.5),
+        (
+            measures.obs_support,
+            np.asarray([r for r in orows if r >= 0], dtype=np.int64),
+            0.5,
+        ),
+    ):
+        for lo in range(0, len(selector), 2048):
+            rows = rows_src[selector[lo : lo + 2048]]
+            bits = np.unpackbits(
+                rows.view(np.uint8), axis=1, bitorder="little"
+            )[:, :n_ff].astype(np.float64)
+            counts = bits.sum(axis=1)
+            m = counts > 0
+            if m.any():
+                benefit += weight * (bits[m] / counts[m, None]).sum(axis=0)
+    for k in direct_flop:
+        benefit[k] += 0.5
+    return benefit
+
+
+@dataclass
+class TestabilityAnalysis:
+    """Full static testability report for one circuit.
+
+    Everything ``repro analyze`` prints, the T005/T006 lint rules read,
+    and the Procedure 2 testability bias consumes.  Faults and
+    ``p_detect`` are index-aligned.
+    """
+
+    circuit_name: str
+    fingerprint: str
+    n_pi: int
+    n_ff: int
+    n_po: int
+    n_gates: int
+    n_nets: int
+    rpr_threshold: float
+    confidence: float
+    faults: List["Fault"]
+    p_detect: np.ndarray
+    benefit: np.ndarray
+    state_vars: List[str]
+    measures: CopMeasures = field(repr=False)
+    cache_hit: bool = False
+
+    # ---- derived views ------------------------------------------------
+    @property
+    def rpr_mask(self) -> np.ndarray:
+        return self.p_detect < self.rpr_threshold
+
+    @property
+    def num_rpr(self) -> int:
+        return int(self.rpr_mask.sum())
+
+    @property
+    def num_untestable(self) -> int:
+        """Faults with estimated detection probability exactly zero."""
+        return int((self.p_detect == 0.0).sum())
+
+    def rpr_faults(self) -> List[Tuple["Fault", float]]:
+        """RPR faults with their estimates, hardest (smallest p) first."""
+        idx = np.flatnonzero(self.rpr_mask)
+        idx = idx[np.argsort(self.p_detect[idx], kind="stable")]
+        return [(self.faults[i], float(self.p_detect[i])) for i in idx]
+
+    def expected_test_length(self) -> Optional[int]:
+        """Random patterns until every estimated-reachable fault is
+        detected with probability ``confidence`` -- the static analogue
+        of the paper's test-length tables.  ``None`` for the degenerate
+        no-reachable-fault circuit."""
+        p = self.p_detect[self.p_detect > 0.0]
+        if len(p) == 0:
+            return None
+        worst = float(p.min())
+        if worst >= 1.0:
+            return 1
+        return int(math.ceil(math.log1p(-self.confidence) / math.log1p(-worst)))
+
+    def benefit_ranking(self) -> List[Tuple[int, str, float]]:
+        """Scan positions sorted by descending benefit: ``(position,
+        state-var name, score)``.  Position 0 is the scan-in end."""
+        order = np.argsort(-self.benefit, kind="stable")
+        return [
+            (int(k), self.state_vars[k], float(self.benefit[k])) for k in order
+        ]
+
+    # ---- rendering ----------------------------------------------------
+    def to_dict(self, top_k: int = 10) -> Dict[str, object]:
+        rpr = self.rpr_faults()
+        return {
+            "schema": ANALYZE_SCHEMA_VERSION,
+            "circuit": self.circuit_name,
+            "fingerprint": self.fingerprint,
+            "nets": {
+                "pi": self.n_pi,
+                "ff": self.n_ff,
+                "po": self.n_po,
+                "gates": self.n_gates,
+                "total": self.n_nets,
+            },
+            "rpr_threshold": self.rpr_threshold,
+            "faults": {
+                "collapsed": len(self.faults),
+                "rpr": self.num_rpr,
+                "untestable": self.num_untestable,
+            },
+            "detection_probability": {
+                "min": float(self.p_detect.min()) if len(self.faults) else None,
+                "median": (
+                    float(np.median(self.p_detect)) if len(self.faults) else None
+                ),
+                "max": float(self.p_detect.max()) if len(self.faults) else None,
+            },
+            "expected_test_length": {
+                "confidence": self.confidence,
+                "patterns": self.expected_test_length(),
+            },
+            "top_rpr_faults": [
+                {"fault": str(f), "p": p} for f, p in rpr[:top_k]
+            ],
+            "state_bit_benefit": [
+                {"position": pos, "net": net, "score": score}
+                for pos, net, score in self.benefit_ranking()[:top_k]
+                if score > 0.0
+            ],
+            "cache_hit": self.cache_hit,
+        }
+
+    def render(self, top_k: int = 10) -> str:
+        lines = [
+            f"{self.circuit_name}: {self.n_pi} PI, {self.n_ff} FF, "
+            f"{self.n_po} PO, {self.n_gates} gates",
+            f"  collapsed faults: {len(self.faults)}; "
+            f"RPR (p < {self.rpr_threshold:g}): {self.num_rpr}; "
+            f"untestable (p = 0): {self.num_untestable}",
+        ]
+        length = self.expected_test_length()
+        if length is None:
+            shown = "n/a"
+        elif length > 10**6:
+            shown = f"{float(length):.2e} patterns"
+        else:
+            shown = f"{length} patterns"
+        lines.append(
+            f"  expected test length ({self.confidence:.0%} confidence): {shown}"
+        )
+        rpr = self.rpr_faults()
+        if rpr:
+            lines.append(f"  hardest faults (top {min(top_k, len(rpr))}):")
+            for fault, p in rpr[:top_k]:
+                lines.append(f"    {fault}  p={p:.3e}")
+        ranking = [r for r in self.benefit_ranking()[:top_k] if r[2] > 0.0]
+        if ranking:
+            lines.append("  state-bit benefit (scan these first):")
+            for pos, net, score in ranking:
+                lines.append(f"    position {pos} ({net})  score={score:.2f}")
+        return "\n".join(lines)
+
+
+def analyze_circuit(
+    circuit: Circuit,
+    faults: Optional[Sequence["Fault"]] = None,
+    rpr_threshold: float = DEFAULT_RPR_THRESHOLD,
+    confidence: float = 0.95,
+    cache: Optional["CompileCache"] = None,
+) -> TestabilityAnalysis:
+    """Static testability analysis of ``circuit``.
+
+    ``faults`` defaults to the collapsed fault list.  With a
+    :class:`~repro.circuit.cache.CompileCache` the structure-dependent
+    sweep arrays are loaded/stored under :func:`cop_cache_key`; the
+    fault-dependent derivations (cheap) always run.
+
+    Raises ``KeyError`` (undriven nets) or
+    :class:`~repro.circuit.levelize.CombinationalCycleError` on
+    structurally broken circuits, same as compilation would.
+    """
+    from repro.robustness.checkpoint import circuit_fingerprint
+
+    arrays = circuit.to_arrays()
+    fingerprint = circuit_fingerprint(circuit)
+    measures = None
+    cache_hit = False
+    if cache is not None:
+        state = cache.load(cop_cache_key(fingerprint))
+        if state is not None:
+            measures = CopMeasures.from_state(state)
+            cache_hit = True
+    if measures is None:
+        measures = compute_cop(arrays)
+        if cache is not None:
+            cache.store(cop_cache_key(fingerprint), measures.to_state())
+
+    if faults is None:
+        from repro.faults.collapse import collapse_faults
+
+        faults = collapse_faults(circuit)
+    faults = list(faults)
+    p_detect = fault_detection_probabilities(arrays, measures, faults)
+    rpr_mask = p_detect < rpr_threshold
+    benefit = state_bit_benefit(arrays, measures, faults, rpr_mask)
+    return TestabilityAnalysis(
+        circuit_name=circuit.name,
+        fingerprint=fingerprint,
+        n_pi=arrays.n_pi,
+        n_ff=arrays.n_ff,
+        n_po=arrays.n_po,
+        n_gates=arrays.n_gates,
+        n_nets=arrays.n_nets,
+        rpr_threshold=rpr_threshold,
+        confidence=confidence,
+        faults=faults,
+        p_detect=p_detect,
+        benefit=benefit,
+        state_vars=circuit.state_vars,
+        measures=measures,
+        cache_hit=cache_hit,
+    )
+
+
+def testability_d1_order(
+    circuit: Circuit,
+    d1_values: Sequence[int],
+    target_faults: Optional[Sequence["Fault"]] = None,
+    rpr_threshold: float = DEFAULT_RPR_THRESHOLD,
+    cache: Optional["CompileCache"] = None,
+) -> Tuple[int, ...]:
+    """Reorder Procedure 2's D1 preference list from the benefit ranking.
+
+    A limited scan of ``D1`` shifts loads fresh random bits into scan
+    positions ``0 .. D1-1`` (the scan-in end); deeper positions only
+    receive shifted old state, so randomizing the state bit at position
+    ``p`` needs ``D1 >= p + 1`` (saturated at the largest value on
+    offer -- no tryable D1 reaches past it).
+
+    The paper's Table 7 shows increasing D1 order stores the fewest
+    pairs -- shallow scans are cheap and mopping up easy faults first
+    leaves fewer residuals for deeper scans to each claim a stored pair
+    for.  The heuristic therefore keeps the increasing walk but *skips
+    ahead*: it rotates the sorted values so the first D1 tried is the
+    smallest one where the RPR support mass begins (the benefit-weighted
+    first quartile of needed positions), with the shallower values
+    retried at the end.  Depths below the support mass tend to detect a
+    handful of faults each and claim pairs that a benefit-covering depth
+    would have absorbed; starting deeper than the quartile overshoots,
+    skipping depths that are both cheap and effective.
+
+    Deterministic in ``(circuit, d1_values, target_faults)``: a resumed
+    run recomputes the identical order, keeping checkpoint replay exact.
+    Falls back to the configured order unchanged when the analysis finds
+    nothing to bias toward (no flip-flops, no RPR faults) or the circuit
+    is structurally broken.
+    """
+    from repro.circuit.levelize import CombinationalCycleError
+
+    try:
+        analysis = analyze_circuit(
+            circuit,
+            faults=target_faults,
+            rpr_threshold=rpr_threshold,
+            cache=cache,
+        )
+    except (KeyError, CombinationalCycleError):
+        return tuple(d1_values)
+    benefit = analysis.benefit
+    total = float(benefit.sum())
+    if total <= 0.0:
+        return tuple(d1_values)
+    ordered = sorted(d1_values)
+    need = np.minimum(np.arange(len(benefit)) + 1, ordered[-1])
+    # Benefit-weighted first quartile of need: the shallowest scan depth
+    # where the RPR support mass begins.
+    by_need = np.argsort(need, kind="stable")
+    cum = np.cumsum(benefit[by_need]) / total
+    quartile_need = int(need[by_need[int(np.searchsorted(cum, 0.25))]])
+    start = next(
+        (i for i, d in enumerate(ordered) if d >= quartile_need), 0
+    )
+    return tuple(ordered[start:] + ordered[:start])

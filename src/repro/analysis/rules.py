@@ -66,12 +66,20 @@ class LintOptions:
             is reported as random-pattern resistant (rule T001).  The
             default sits above every catalog circuit's hardest fault so
             that only genuinely pathological inputs fire the rule.
+        rpr_probability_threshold: a fault whose COP-estimated
+            single-pattern detection probability falls below this value
+            is random-pattern resistant (rule T005).  Matches
+            :data:`repro.analysis.cop.DEFAULT_RPR_THRESHOLD`.
+        benefit_top_k: how many state bits rule T006 names in its
+            scan-benefit ranking.
         max_named_nets: how many offending nets a finding names in its
             message before truncating with an ellipsis.
         suppress: rule IDs to skip entirely for this run.
     """
 
     scoap_difficulty_threshold: int = 512
+    rpr_probability_threshold: float = 1e-3
+    benefit_top_k: int = 5
     max_named_nets: int = 5
     suppress: Tuple[str, ...] = ()
 
@@ -94,6 +102,7 @@ class AnalysisContext:
         self._cycle_error: Optional[CombinationalCycleError] = None
         self._scoap: object = self._UNSET
         self._collapsed: object = self._UNSET
+        self._testability: object = self._UNSET
         self._fanout_counts: Optional[Dict[str, int]] = None
 
     @property
@@ -123,7 +132,9 @@ class AnalysisContext:
             else:
                 from repro.atpg.scoap import compute_scoap
 
-                self._scoap = compute_scoap(self.circuit)
+                self._scoap = compute_scoap(
+                    self.circuit, levelization=self.levelization
+                )
         return self._scoap
 
     @property
@@ -137,6 +148,34 @@ class AnalysisContext:
 
                 self._collapsed = collapse_faults(self.circuit)
         return self._collapsed
+
+    @property
+    def testability(self):
+        """COP :class:`~repro.analysis.cop.TestabilityAnalysis`, or None.
+
+        None when the circuit is structurally broken (same degradation
+        contract as :attr:`scoap`): the T-rules built on the COP signal
+        skip silently while the S-rules report the root cause.
+        """
+        if self._testability is self._UNSET:
+            faults = self.collapsed_faults
+            if faults is None:
+                self._testability = None
+            else:
+                from repro.analysis.cop import analyze_circuit
+
+                try:
+                    self._testability = analyze_circuit(
+                        self.circuit,
+                        faults=faults,
+                        rpr_threshold=self.options.rpr_probability_threshold,
+                    )
+                except (KeyError, CombinationalCycleError):
+                    # Levelization can succeed while the array lowering
+                    # rejects an undriven PO/flop-D reference; same
+                    # broken-circuit degradation either way.
+                    self._testability = None
+        return self._testability
 
     def fanout_counts(self) -> Dict[str, int]:
         """Consumers per net (gate inputs and flop D pins; POs excluded)."""

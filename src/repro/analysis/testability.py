@@ -1,9 +1,10 @@
-"""Testability rules (``T###``): SCOAP-based random-pattern health.
+"""Testability rules (``T###``): static random-pattern health.
 
 The paper's premise is that random patterns miss random-pattern-resistant
-faults; SCOAP flags those statically, before any simulation cycle is
-spent.  All rules here skip silently when the circuit is structurally
-broken (the ``S###`` rules report the root cause first).
+faults; SCOAP (T001-T003) and the vectorized COP engine (T005-T006,
+:mod:`repro.analysis.cop`) flag those statically, before any simulation
+cycle is spent.  All rules here skip silently when the circuit is
+structurally broken (the ``S###`` rules report the root cause first).
 """
 
 from __future__ import annotations
@@ -134,3 +135,60 @@ class FanoutProfileRule(Rule):
                 f"{ctx.name_nets(unused_inputs)}"
             )
         yield self.issue(message, nets=unused_inputs)
+
+
+@register
+class CopResistantFaultsRule(Rule):
+    rule_id = "T005"
+    severity = Severity.WARNING
+    title = "cop-resistant-faults"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        analysis = ctx.testability
+        if analysis is None or not analysis.faults:
+            return
+        rpr = analysis.rpr_faults()
+        if not rpr:
+            return
+        worst_fault, worst_p = rpr[0]
+        length = analysis.expected_test_length()
+        shown = (
+            "unbounded"
+            if length is None
+            else (f"{float(length):.2e}" if length > 10**6 else str(length))
+        )
+        yield self.issue(
+            f"{len(rpr)} of {len(analysis.faults)} collapsed faults have "
+            f"COP-estimated detection probability < "
+            f"{analysis.rpr_threshold:g} (hardest: {worst_fault.site} "
+            f"s-a-{worst_fault.value}, p = {worst_p:.2e}); expected random "
+            f"test length for 95% confidence: {shown} patterns",
+            nets=sorted({fault.site for fault, _ in rpr}),
+        )
+
+
+@register
+class ScanBenefitRankingRule(Rule):
+    rule_id = "T006"
+    severity = Severity.INFO
+    title = "scan-benefit-ranking"
+
+    def check(self, circuit: Circuit, ctx: AnalysisContext):
+        analysis = ctx.testability
+        if analysis is None or not circuit.flops:
+            return
+        ranking = [
+            entry for entry in analysis.benefit_ranking() if entry[2] > 0.0
+        ]
+        if not ranking:
+            return
+        top = ranking[: ctx.options.benefit_top_k]
+        shown = ", ".join(
+            f"{name} (pos {pos}, {score:.2f})" for pos, name, score in top
+        )
+        yield self.issue(
+            f"state bits whose scan would reach the most RPR faults "
+            f"(benefit = share of RPR fault control/observation support): "
+            f"{shown}",
+            nets=[name for _, name, _ in top],
+        )

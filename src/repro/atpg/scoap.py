@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.circuit.levelize import levelize
+from repro.circuit.levelize import Levelization, levelize
 from repro.circuit.library import GateType
 from repro.circuit.netlist import Circuit
 from repro.faults.model import Fault, FaultGraph
@@ -83,13 +83,22 @@ def _combine(
     return (min(out[0], INFINITY), min(out[1], INFINITY))
 
 
-def compute_scoap(circuit: Circuit) -> ScoapResult:
+def compute_scoap(
+    circuit: Circuit, levelization: Optional[Levelization] = None
+) -> ScoapResult:
     """SCOAP over the full-scan combinational expansion of ``circuit``.
 
     Gates with more than two inputs are handled by folding inputs left to
-    right (equivalent to analysing the two-input decomposition).
+    right (equivalent to analysing the two-input decomposition).  Pass a
+    precomputed ``levelization`` to skip re-levelizing (the lint
+    :class:`~repro.analysis.rules.AnalysisContext` shares one).
+
+    SCOAP costs are integer *effort* estimates (how many pin assignments
+    a deterministic ATPG needs); for random-pattern *probability*
+    estimates over the same netlist see the vectorized COP engine in
+    :mod:`repro.analysis.cop`.
     """
-    lev = levelize(circuit)
+    lev = levelization if levelization is not None else levelize(circuit)
     cc0: Dict[str, int] = {}
     cc1: Dict[str, int] = {}
     for net in circuit.inputs + circuit.state_vars:

@@ -305,9 +305,44 @@ class NetlistArrays:
     def n_po(self) -> int:
         return len(self.po)
 
+    @property
+    def first_gate(self) -> int:
+        """Net index of gate 0's output (``n_pi + n_ff``)."""
+        return self.n_pi + self.n_ff
+
     def gate_fanin(self, i: int) -> np.ndarray:
         """Net indices of gate ``i``'s input pins."""
         return self.fanin[self.fanin_offset[i] : self.fanin_offset[i + 1]]
+
+    def gather_fanin(
+        self, gates: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened fan-in segments for a subset of gates.
+
+        The workhorse of the levelized analysis sweeps (COP, support
+        bitsets): gathers the CSR rows of ``gates`` into one contiguous
+        run so a whole level reduces with a single ``ufunc.reduceat``.
+
+        Returns ``(edges, counts, seg_offset, edge_pos)``:
+
+        - ``edges``: fan-in net index of every pin, segments concatenated
+          in ``gates`` order;
+        - ``counts``: pins per gate (``int64[len(gates)]``);
+        - ``seg_offset``: exclusive prefix sum of ``counts``
+          (``int64[len(gates) + 1]``) -- segment ``k`` of ``edges`` is
+          ``edges[seg_offset[k]:seg_offset[k + 1]]``;
+        - ``edge_pos``: position of each gathered pin in the global
+          ``fanin`` array, for per-edge results aligned with ``fanin``.
+        """
+        gates = np.asarray(gates, dtype=np.int64)
+        starts = self.fanin_offset[gates].astype(np.int64)
+        counts = self.fanin_offset[gates + 1].astype(np.int64) - starts
+        seg_offset = np.zeros(len(gates) + 1, dtype=np.int64)
+        np.cumsum(counts, out=seg_offset[1:])
+        edge_pos = np.arange(int(seg_offset[-1]), dtype=np.int64) + np.repeat(
+            starts - seg_offset[:-1], counts
+        )
+        return self.fanin[edge_pos], counts, seg_offset, edge_pos
 
 
 def circuit_from_arrays(arrays: NetlistArrays) -> Circuit:

@@ -6,6 +6,7 @@ Usage::
     python -m repro stats s208
     python -m repro faults s208
     python -m repro lint s208 [--json] [--strict]
+    python -m repro analyze s208 [--json] [--top 10]
     python -m repro run s208 --la 8 --lb 16 --n 64
     python -m repro run s208 --checkpoint s208.journal [--resume]
     python -m repro first-complete s208
@@ -118,7 +119,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import CATALOG_SUPPRESSIONS, LintOptions, lint_circuit
 
     if args.all:
-        targets = [(name, load_circuit(name)) for name in available_circuits()]
+        targets = [
+            (name, load_circuit(name))
+            for name in available_circuits(tier=args.tier)
+        ]
+    elif args.tier:
+        print("lint: --tier only applies with --all", file=sys.stderr)
+        return 2
     elif args.circuit:
         # A netlist that does not even parse is the hardest lint failure;
         # report the parse diagnostics in place of a lint report.
@@ -157,6 +164,41 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.cop import analyze_circuit
+    from repro.circuit.cache import CompileCache
+    from repro.circuit.levelize import CombinationalCycleError
+
+    try:
+        circuit = resolve_circuit(args.circuit)
+    except IngestionError as exc:
+        print(f"{args.circuit}: {exc}", file=sys.stderr)
+        return 1
+    cache = (
+        CompileCache(args.cache_dir) if args.cache_dir
+        else CompileCache.from_env()
+    )
+    try:
+        analysis = analyze_circuit(
+            circuit, rpr_threshold=args.threshold, cache=cache
+        )
+    except (KeyError, CombinationalCycleError) as exc:
+        # Structurally broken netlist; `repro lint` pinpoints the cause.
+        print(
+            f"{args.circuit}: cannot analyze ({exc}); run `repro lint` "
+            f"for the structural diagnosis",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(analysis.to_dict(top_k=args.top), indent=2))
+    else:
+        print(analysis.render(top_k=args.top))
+    return 0
+
+
 def _config_from_args(args: argparse.Namespace) -> BistConfig:
     return BistConfig(
         la=args.la,
@@ -167,6 +209,7 @@ def _config_from_args(args: argparse.Namespace) -> BistConfig:
             D1_DECREASING if args.d1_order == "decreasing" else D1_INCREASING
         ),
         max_iterations=args.max_iterations,
+        candidate_bias=args.candidate_bias,
         n_jobs=args.jobs,
         pool=args.pool,
         candidate_batch=args.candidate_batch,
@@ -350,7 +393,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated rule IDs to skip (e.g. S006,T002)")
     p.add_argument("--scoap-threshold", type=int, default=None,
                    help="T001 random-pattern-resistance difficulty cutoff")
+    p.add_argument("--tier", choices=("small", "medium", "large"),
+                   default=None,
+                   help="with --all: lint only the named catalog tier "
+                        "instead of compiling everything")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static COP testability report (RPR faults, scan benefit)",
+    )
+    p.add_argument("circuit",
+                   help="catalog name or netlist path")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured report as JSON")
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="how many RPR faults / state bits to list "
+                        "(default 10)")
+    p.add_argument("--threshold", type=float, default=1e-3, metavar="P",
+                   help="RPR cutoff: faults with estimated detection "
+                        "probability below P (default 1e-3)")
+    p.add_argument("--cache-dir", metavar="DIR", dest="cache_dir",
+                   help="compile-cache directory (default: "
+                        "$REPRO_CACHE_DIR if set); COP measures are "
+                        "cached by circuit fingerprint")
+    p.set_defaults(func=cmd_analyze)
 
     def add_bist_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("circuit")
@@ -360,6 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=20010618)
         p.add_argument("--d1-order", choices=("increasing", "decreasing"),
                        default="increasing")
+        p.add_argument("--candidate-bias",
+                       choices=("uniform", "testability"),
+                       default="uniform", dest="candidate_bias",
+                       help="candidate (I, D1) search order: 'uniform' "
+                            "walks --d1-order as-is (byte-identical to "
+                            "previous releases); 'testability' reorders "
+                            "D1 around the COP scan-benefit pivot so "
+                            "effective depths are tried first")
         p.add_argument("--jobs", type=int, default=1,
                        help="fault-simulation worker processes "
                             "(1 = serial, -1 = all cores)")

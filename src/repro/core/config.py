@@ -68,6 +68,21 @@ class BistConfig:
             (speculative evaluation with exact reconstruction -- see
             :meth:`repro.faults.fault_sim.FaultSimulator.simulate_candidates`).
             Execution knob: results are byte-identical for any value.
+        candidate_bias: Procedure 2's candidate search order.
+            ``'uniform'`` (default) tries D1 values exactly in
+            ``d1_values`` order -- byte-identical to every release
+            before the knob existed.  ``'testability'`` reorders the D1
+            stream around the COP scan-benefit pivot
+            (:func:`repro.analysis.cop.testability_d1_order`) so depths
+            likely to absorb RPR faults are tried first, typically
+            storing fewer ``(I, D1)`` pairs.  Unlike the execution
+            knobs this is a *search-strategy* knob -- it legitimately
+            changes which pairs are selected -- but it is still
+            excluded from :meth:`to_dict`: the chosen pairs themselves
+            are the result, the bias is provenance (recorded as
+            execution metadata on :class:`~repro.core.procedure2.Procedure2Result`
+            and in experiment manifests), and a resumed run re-derives
+            the same deterministic order from the circuit.
     """
 
     la: int = 8
@@ -86,6 +101,7 @@ class BistConfig:
     shard_retries: int = 2
     pool: str = "persistent"
     candidate_batch: int = 1
+    candidate_bias: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.la < 1 or self.lb < 1:
@@ -114,6 +130,10 @@ class BistConfig:
             raise ValueError("pool must be 'persistent' or 'sharded'")
         if self.candidate_batch < 1:
             raise ValueError("candidate_batch must be >= 1")
+        if self.candidate_bias not in ("uniform", "testability"):
+            raise ValueError(
+                "candidate_bias must be 'uniform' or 'testability'"
+            )
 
     def with_lengths(self, la: int, lb: int, n: int) -> "BistConfig":
         """A copy with different ``(L_A, L_B, N)`` (everything else kept)."""
@@ -127,7 +147,10 @@ class BistConfig:
         intentionally omitted: they never change results on valid
         circuits, so serialized outputs and checkpoint journals stay
         byte-identical across serial/parallel, lint-mode, pool-backend,
-        batching, and recovery-policy variations.
+        batching, and recovery-policy variations.  ``candidate_bias``
+        is also omitted -- see its attribute docs: the selected pairs
+        are the result, the search order that found them is provenance,
+        and a resume re-derives it deterministically from the circuit.
         """
         return {
             "la": self.la,

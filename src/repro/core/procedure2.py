@@ -75,6 +75,12 @@ class Procedure2Result:
     #: Worker-pool recovery actions of this run (execution metadata:
     #: populated only when a sharded run degraded, never serialized).
     degradation: Optional["DegradationReport"] = None
+    #: Which candidate search order produced this run (``'uniform'`` or
+    #: ``'testability'``).  Execution metadata like ``degradation``:
+    #: recorded for provenance, excluded from serialized results and
+    #: journal headers so uniform runs stay byte-identical across
+    #: releases.
+    candidate_bias: str = "uniform"
 
     # ---- the paper's reported metrics ---------------------------------
     @property
@@ -231,6 +237,13 @@ def run_procedure2(
     knobs; worker failures are recovered shard by shard and recorded on
     ``result.degradation``.
 
+    ``config.candidate_bias == 'testability'`` reorders the D1 stream
+    around the COP scan-benefit pivot before the loop starts (see
+    :func:`repro.analysis.cop.testability_d1_order`); ``'uniform'``
+    (default) walks ``d1_values`` as configured, byte-identical to
+    releases without the knob.  The mode used is recorded on
+    ``result.candidate_bias``.
+
     ``checkpoint`` (a :class:`~repro.robustness.checkpoint.CheckpointPolicy`
     or a path) journals every iteration so a killed run can be continued
     with :func:`resume_procedure2` -- byte-identical to an uninterrupted
@@ -346,6 +359,7 @@ def resume_procedure2(
         config=config,
         n_sv=header["n_sv"],
         num_targets=len(target_faults),
+        candidate_bias=config.candidate_bias,
     )
     detected: set = set()
     for idx, test_index, time_unit, where in state.detected_rows:
@@ -433,6 +447,16 @@ def _run_procedure2_body(
     n_jobs: int = 1,
 ) -> Procedure2Result:
     ts0 = ts0 if ts0 is not None else generate_ts0(circuit, config)
+    d1_values = tuple(config.d1_values)
+    if config.candidate_bias == "testability":
+        from repro.analysis.cop import testability_d1_order
+
+        # Deterministic function of (circuit, d1_values, targets), so a
+        # resumed run re-derives the identical candidate order without
+        # journaling it.
+        d1_values = testability_d1_order(
+            circuit, d1_values, target_faults=target_faults
+        )
     # Under partial scan the chain length plays the role of N_SV in both
     # the cost model and Procedure 1's D2; under full scan they coincide.
     n_sv = simulator.chain_length
@@ -453,7 +477,7 @@ def _run_procedure2_body(
     try:
         return _procedure2_loop(
             circuit, config, target_faults, evaluator, positions,
-            writer=writer, start=start,
+            writer=writer, start=start, d1_values=d1_values,
         )
     finally:
         evaluator.close()
@@ -467,7 +491,14 @@ def _procedure2_loop(
     positions: Optional[Dict[Fault, int]],
     writer: Optional["CheckpointWriter"] = None,
     start: Optional[_ResumeState] = None,
+    d1_values: Optional[Sequence[int]] = None,
 ) -> Procedure2Result:
+    # The D1 preference order for the candidate stream: config order for
+    # uniform search, or the testability-pivoted reordering computed by
+    # the body.  Selection semantics are order-agnostic -- every D1 that
+    # detects something new is kept either way -- but trying effective
+    # depths first absorbs faults early and stores fewer pairs.
+    d1_values = tuple(d1_values if d1_values is not None else config.d1_values)
     def finish(res: Procedure2Result) -> Procedure2Result:
         if evaluator.degradation.degraded:
             res.degradation = evaluator.degradation
@@ -492,6 +523,7 @@ def _procedure2_loop(
             config=config,
             n_sv=evaluator.n_sv,
             num_targets=len(target_faults),
+            candidate_bias=config.candidate_bias,
         )
         remaining = list(target_faults)
         ts0_hits = evaluator.evaluate_ts0(remaining).hits_for(remaining)
@@ -526,16 +558,16 @@ def _procedure2_loop(
     all_specs = [
         (it, d1)
         for it in range(iteration + 1, config.max_iterations + 1)
-        for d1 in config.d1_values
+        for d1 in d1_values
     ]
     pos = 0  # next spec to dispatch; specs are consumed in list order
-    n_d1 = len(config.d1_values)
+    n_d1 = len(d1_values)
     prefetched: Dict[Any, Any] = {}
     while n_same_fc < config.n_same_fc and iteration < config.max_iterations:
         iteration += 1
         improved = False
         journal_pairs: List[Dict[str, Any]] = []
-        for k, d1 in enumerate(config.d1_values):
+        for k, d1 in enumerate(d1_values):
             table = prefetched.pop((iteration, d1), None)
             if table is None:
                 # Everything before (iteration, d1) is consumed, so pos

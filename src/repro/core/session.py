@@ -6,7 +6,9 @@ graph, collapsed fault list, detectability classification) and exposes:
 - :meth:`run` -- Procedure 2 for one ``(L_A, L_B, N)``,
 - :meth:`first_complete` -- the paper's Table 6 flow: try combinations in
   increasing ``Ncyc0`` order and report the first that achieves complete
-  coverage of the detectable faults.
+  coverage of the detectable faults,
+- :meth:`analyze` -- the static COP testability report (RPR faults,
+  state-bit scan benefit) for the same circuit and cache.
 """
 
 from __future__ import annotations
@@ -67,6 +69,7 @@ class LimitedScanBist:
     ) -> None:
         self.circuit = circuit
         self.config = config or BistConfig()
+        self.cache = cache
         self.graph = FaultGraph(circuit, cache=cache)
         self.simulator = FaultSimulator(self.graph)
         self._explicit_targets = (
@@ -98,6 +101,28 @@ class LimitedScanBist:
         if self._explicit_targets is not None:
             return list(self._explicit_targets)
         return self.classification.target_faults
+
+    def analyze(self, rpr_threshold: Optional[float] = None):
+        """Static COP testability report for this session's circuit.
+
+        Runs over the collapsed fault list and shares the session's
+        compile cache, so repeated calls (and prior ``repro analyze``
+        invocations with the same cache directory) hit the cached
+        measures.  Returns a
+        :class:`~repro.analysis.cop.TestabilityAnalysis`.
+        """
+        from repro.analysis.cop import DEFAULT_RPR_THRESHOLD, analyze_circuit
+
+        return analyze_circuit(
+            self.circuit,
+            faults=self.collapsed_faults,
+            rpr_threshold=(
+                DEFAULT_RPR_THRESHOLD
+                if rpr_threshold is None
+                else rpr_threshold
+            ),
+            cache=self.cache,
+        )
 
     # ------------------------------------------------------------------
     def run(

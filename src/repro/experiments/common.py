@@ -13,7 +13,7 @@ from repro.bench_circuits import load_circuit
 from repro.core.config import BistConfig
 from repro.core.session import LimitedScanBist
 
-_SESSIONS: Dict[Tuple[str, int, int, str, int], LimitedScanBist] = {}
+_SESSIONS: Dict[Tuple[str, int, int, str, int, str], LimitedScanBist] = {}
 
 #: Default fault-simulation parallelism for experiment sessions; set by
 #: the runner's ``--jobs`` flag.  Results are identical for any value.
@@ -24,6 +24,12 @@ _DEFAULT_N_JOBS = 1
 #: knob changes results, only wall-clock time.
 _DEFAULT_POOL = "persistent"
 _DEFAULT_CANDIDATE_BATCH = 1
+
+#: Candidate search order for experiment sessions; set by the runner's
+#: ``--candidate-bias`` flag.  Unlike the knobs above this one *does*
+#: change which pairs are selected (it is a search strategy, not an
+#: execution detail), so the runner records it in ``manifest.json``.
+_DEFAULT_CANDIDATE_BIAS = "uniform"
 
 
 def set_default_n_jobs(n_jobs: int) -> None:
@@ -44,11 +50,22 @@ def set_default_candidate_batch(batch: int) -> None:
     _DEFAULT_CANDIDATE_BATCH = batch
 
 
+def set_default_candidate_bias(bias: str) -> None:
+    """Set the candidate search order for sessions created after this."""
+    global _DEFAULT_CANDIDATE_BIAS
+    _DEFAULT_CANDIDATE_BIAS = bias
+
+
+def default_candidate_bias() -> str:
+    """The candidate search order new sessions will use."""
+    return _DEFAULT_CANDIDATE_BIAS
+
+
 def bist_for(name: str, base_seed: int = 20010618) -> LimitedScanBist:
     """A cached :class:`LimitedScanBist` session for a catalog circuit."""
     key = (
         name, base_seed, _DEFAULT_N_JOBS, _DEFAULT_POOL,
-        _DEFAULT_CANDIDATE_BATCH,
+        _DEFAULT_CANDIDATE_BATCH, _DEFAULT_CANDIDATE_BIAS,
     )
     if key not in _SESSIONS:
         _SESSIONS[key] = LimitedScanBist(
@@ -58,6 +75,7 @@ def bist_for(name: str, base_seed: int = 20010618) -> LimitedScanBist:
                 n_jobs=_DEFAULT_N_JOBS,
                 pool=_DEFAULT_POOL,
                 candidate_batch=_DEFAULT_CANDIDATE_BATCH,
+                candidate_bias=_DEFAULT_CANDIDATE_BIAS,
             ),
         )
     return _SESSIONS[key]

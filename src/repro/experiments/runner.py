@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments import ablations, table1, table3, table4, table5, table6, table7, table8
 from repro.experiments.common import (
     set_default_candidate_batch,
+    set_default_candidate_bias,
     set_default_n_jobs,
     set_default_pool,
 )
@@ -187,6 +188,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
              "results are identical for any value",
     )
     parser.add_argument(
+        "--candidate-bias", choices=("uniform", "testability"),
+        default="uniform", dest="candidate_bias",
+        help="Procedure 2 candidate search order; 'testability' biases "
+             "the D1 stream by COP scan benefit (changes which pairs "
+             "are stored; recorded in the manifest)",
+    )
+    parser.add_argument(
         "--resume", action="store_true",
         help="skip sections already completed per DIR/manifest.json "
              "(failed sections are re-run)",
@@ -201,6 +209,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     set_default_n_jobs(args.jobs)
     set_default_pool(args.pool)
     set_default_candidate_batch(args.candidate_batch)
+    set_default_candidate_bias(args.candidate_bias)
     out_dir: Path = args.out
     out_dir.mkdir(parents=True, exist_ok=True)
     manifest_path = out_dir / "manifest.json"
@@ -220,6 +229,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             {
                 "version": MANIFEST_VERSION,
                 "full": args.full,
+                # Provenance: which candidate search order produced these
+                # results.  Not part of the resume-compatibility check --
+                # sections themselves record complete results -- but a
+                # reader of the manifest can tell biased runs apart.
+                "candidate_bias": args.candidate_bias,
                 "sections": completed,
             },
         )

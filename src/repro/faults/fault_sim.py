@@ -708,6 +708,63 @@ class FaultSimulator:
         records = self.simulate(tests, faults, policy)
         return [f for f in faults if f in records]
 
+    def measure_detection_counts(
+        self,
+        faults: Sequence[Fault],
+        n_patterns: int = 10_000,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Per-fault detection counts under single random patterns.
+
+        The measurement the static COP estimates predict: each pattern
+        assigns independent fair bits to every primary input and scan
+        cell, runs one combinational evaluation, and observes the primary
+        outputs plus every flop D pin (full-scan observability).  Pattern
+        bits ride the word lanes (pattern-parallel); faults are injected
+        one at a time as whole-word stuck values, so each fault costs one
+        ``ceil(n_patterns / 64)``-word evaluation.
+
+        Returns ``int64[len(faults)]``: patterns (out of ``n_patterns``)
+        that detect each fault.  Deterministic in ``seed``.
+        """
+        model = self.model
+        n_words = (n_patterns + 63) // 64
+        rng = np.random.Generator(np.random.PCG64(seed))
+        free_rows = np.concatenate([model.pi_idx, model.q_idx])
+        obs_rows = np.concatenate([model.po_idx, model.d_idx])
+        bits = rng.integers(
+            0, 2**64, size=(len(free_rows), n_words), dtype=np.uint64
+        )
+        good = model.alloc(n_words)
+        good[free_rows, :] = bits
+        model.eval(good)
+        good_obs = good[obs_rows, :]
+
+        # Slack lanes of the last word carry extra random patterns; the
+        # tail mask keeps them out of the counts.
+        tail = n_patterns - (n_words - 1) * 64
+        mask = np.full(n_words, ~np.uint64(0), dtype=np.uint64)
+        if tail < 64:
+            mask[-1] = np.uint64((1 << tail) - 1)
+
+        counts = np.zeros(len(faults), dtype=np.int64)
+        vals = model.alloc(n_words)
+        for i, fault in enumerate(faults):
+            sig = self.graph.signal_of(fault)
+            inj = Injections.build_whole_word(
+                [(sig, w, fault.value) for w in range(n_words)],
+                model.level_of_signal,
+            )
+            vals[:] = 0
+            vals[free_rows, :] = bits
+            model.eval(vals, inj)
+            diff = np.bitwise_or.reduce(
+                (vals[obs_rows, :] ^ good_obs), axis=0
+            )
+            diff &= mask
+            counts[i] = int(np.bitwise_count(diff).sum())
+        return counts
+
     def sharded(
         self, n_jobs: int, recovery=None, chaos=None
     ) -> "ShardedFaultSimulator":

@@ -104,8 +104,11 @@ _WHERE_CANON = {where: sys.intern(where) for where in WHERE_RANK}
 
 #: One candidate test set by seed: ``(iteration, d1)``; ``d1 is None``
 #: denotes ``TS0`` itself.  Procedure 2's candidate sequence is fully
-#: deterministic (``I = 1..max_iterations`` x ``d1_values`` in order),
-#: so a dispatch may batch specs across iteration boundaries.
+#: deterministic -- ``I = 1..max_iterations`` crossed with the caller's
+#: D1 preference order (``d1_values`` as configured, or the
+#: testability-pivoted reordering under
+#: ``candidate_bias == 'testability'``) -- so a dispatch may batch
+#: specs across iteration boundaries.
 CandidateSpec = Tuple[int, Optional[int]]
 
 #: Cache bound on built ``TS(I, D1)`` test sets (worker and parent side).

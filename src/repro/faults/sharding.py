@@ -78,7 +78,7 @@ def available_cpu_count() -> int:
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):  # platforms without sched_getaffinity
-        return max(1, os.cpu_count() or 1)
+        return max(1, os.cpu_count() or 1)  # detlint: ignore[DET004]
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:

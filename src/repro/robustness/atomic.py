@@ -8,6 +8,11 @@ flush, ``fsync``, then ``os.replace`` onto the destination (atomic on
 POSIX when source and destination share a filesystem, which a sibling
 always does).
 
+The temporary name is unique per writer (``tempfile.mkstemp``), not a
+fixed ``path + ".tmp"``: with a fixed name, two processes writing the
+same destination concurrently -- the normal cold-start case for the
+machine-shared compile cache -- overwrite each other's temp file, and
+whichever calls ``os.replace`` second dies with ``FileNotFoundError``.
 A crash between the write and the replace leaves only a stray
 ``*.tmp`` file next to the destination; the destination itself is never
 observed in a partial state.
@@ -17,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Union
 
@@ -26,24 +32,36 @@ def atomic_write_text(
 ) -> None:
     """Write ``text`` to ``path`` so readers see the old or new content,
     never a prefix of the new one."""
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w", encoding=encoding) as fh:
-        fh.write(text)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    atomic_write_bytes(path, text.encode(encoding))
 
 
 def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
-    """Binary counterpart of :func:`atomic_write_text` (same guarantee)."""
+    """Binary counterpart of :func:`atomic_write_text` (same guarantee).
+
+    Safe under concurrent writers to the same destination: each gets a
+    private temp file, and the last ``os.replace`` wins wholesale.
+    """
     path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        fh.write(data)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            # mkstemp creates 0600; restore the permissions a plain
+            # open() would have given, so shared caches stay readable.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.fchmod(fh.fileno(), 0o666 & ~umask)
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def atomic_write_json(

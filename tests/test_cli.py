@@ -74,11 +74,76 @@ class TestCommands:
         )
         assert main(["lint", str(path)]) == 0
         assert main(["lint", str(path), "--strict"]) == 1
+        # T005 fires too: the dangling net's faults have p_detect = 0.
         assert main(["lint", str(path), "--strict",
-                     "--suppress", "S006,T002"]) == 0
+                     "--suppress", "S006,T002,T005"]) == 0
 
     def test_lint_without_target(self, capsys):
         assert main(["lint"]) == 2
+
+    def test_lint_tier_requires_all(self, capsys):
+        assert main(["lint", "s27", "--tier", "small"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_lint_all_tier_restricts_sweep(self, capsys):
+        assert main(["lint", "--all", "--tier", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out
+        assert "s38584" not in out  # large tier excluded
+
+    def test_analyze_text(self, capsys):
+        assert main(["analyze", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "collapsed faults: 32" in out
+        assert "RPR" in out
+
+    def test_analyze_json_schema(self, capsys):
+        import json
+
+        assert main(["analyze", "s208", "--json", "--top", "3"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == 1
+        assert data["circuit"] == "s208"
+        assert len(data["fingerprint"]) == 64
+        assert data["faults"]["rpr"] > 0
+        assert len(data["top_rpr_faults"]) == 3
+        assert all(
+            entry["p"] < data["rpr_threshold"]
+            for entry in data["top_rpr_faults"]
+        )
+
+    def test_analyze_threshold(self, capsys):
+        import json
+
+        # Threshold 0 keeps only exactly-untestable faults in RPR.
+        assert main(["analyze", "s27", "--json", "--threshold", "1e-9"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["rpr_threshold"] == 1e-9
+        assert data["faults"]["rpr"] == 0
+
+    def test_analyze_uses_cache(self, tmp_path, capsys):
+        import json
+
+        argv = ["analyze", "s27", "--json", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache_hit"] is False
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache_hit"] is True
+        # The cache only changes the flag, never the analysis.
+        cold.pop("cache_hit"), warm.pop("cache_hit")
+        assert cold == warm
+
+    def test_analyze_unparseable_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(a)\nOUTPUT(x)\nx = AND(a, ghost)\n")
+        assert main(["analyze", str(path)]) == 1
+
+    def test_run_candidate_bias_flag(self, capsys):
+        argv = ["run", "s27", "--la", "4", "--lb", "8", "--n", "8"]
+        assert main(argv + ["--candidate-bias", "testability"]) == 0
+        assert "complete" in capsys.readouterr().out
 
     def test_run(self, capsys):
         code = main(["run", "s27", "--la", "4", "--lb", "8", "--n", "8"])

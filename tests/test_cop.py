@@ -1,0 +1,203 @@
+"""Unit tests for the vectorized COP testability engine.
+
+The differential suite (test_cop_differential.py) checks agreement with
+*measured* detection on whole circuits; this file pins down the engine
+itself: exactness on fanout-free logic (where COP's independence
+assumption holds by construction), the constant/degenerate gate cases,
+compile-cache round-trips, and the determinism and fallback contracts
+of the testability-guided D1 ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.cop import (
+    DEFAULT_RPR_THRESHOLD,
+    CopMeasures,
+    analyze_circuit,
+    compute_cop,
+    cop_cache_key,
+    fault_detection_probabilities,
+    testability_d1_order as d1_order,
+)
+from repro.bench_circuits import load_circuit
+from repro.circuit.cache import CompileCache
+from repro.circuit.library import GateType
+from repro.circuit.netlist import Circuit
+from repro.faults.collapse import collapse_faults
+from repro.faults.model import Fault
+
+
+def tree_circuit() -> Circuit:
+    """Fanout-free combinational tree: COP is exact here."""
+    c = Circuit("tree")
+    for name in "abcd":
+        c.add_input(name)
+    c.add_gate("g1", GateType.AND, ["a", "b"])
+    c.add_gate("g2", GateType.OR, ["c", "d"])
+    c.add_gate("y", GateType.XOR, ["g1", "g2"])
+    c.add_output("y")
+    return c
+
+
+def _eval_tree(assignment, stuck=None):
+    """Evaluate the tree's nets, optionally with one stem stuck-at."""
+    values = dict(assignment)
+
+    def net(name):
+        if stuck is not None and name == stuck[0]:
+            return stuck[1]
+        return values[name]
+
+    values["g1"] = net("a") & net("b")
+    values["g2"] = net("c") | net("d")
+    values["y"] = net("g1") ^ net("g2")
+    return net("y")
+
+
+class TestExactOnTrees:
+    def test_matches_exhaustive_enumeration(self):
+        circuit = tree_circuit()
+        arrays = circuit.to_arrays()
+        measures = compute_cop(arrays)
+        faults = [
+            Fault(site, value)
+            for site in ("a", "b", "c", "d", "g1", "g2", "y")
+            for value in (0, 1)
+        ]
+        predicted = fault_detection_probabilities(arrays, measures, faults)
+        for fault, p in zip(faults, predicted):
+            detecting = sum(
+                _eval_tree(dict(zip("abcd", bits)))
+                != _eval_tree(
+                    dict(zip("abcd", bits)), stuck=(fault.site, fault.value)
+                )
+                for bits in itertools.product((0, 1), repeat=4)
+            )
+            assert p == pytest.approx(detecting / 16.0), str(fault)
+
+    def test_constant_gates(self):
+        c = Circuit("consts")
+        c.add_input("a")
+        c.add_gate("zero", GateType.CONST0, [])
+        c.add_gate("one", GateType.CONST1, [])
+        c.add_gate("y", GateType.AND, ["a", "one"])
+        c.add_gate("z", GateType.OR, ["a", "zero"])
+        c.add_output("y")
+        c.add_output("z")
+        arrays = c.to_arrays()
+        measures = compute_cop(arrays)
+        index = {name: i for i, name in enumerate(arrays.names)}
+        assert measures.c1[index["zero"]] == 0.0
+        assert measures.c1[index["one"]] == 1.0
+        # AND with a constant 1 / OR with a constant 0 are transparent.
+        assert measures.c1[index["y"]] == 0.5
+        assert measures.c1[index["z"]] == 0.5
+        # A stuck-at on the dead side of a constant is undetectable.
+        p = fault_detection_probabilities(
+            arrays, measures, [Fault("one", 1), Fault("zero", 0)]
+        )
+        assert p.tolist() == [0.0, 0.0]
+
+    def test_probabilities_are_probabilities(self, s27):
+        arrays = s27.to_arrays()
+        measures = compute_cop(arrays)
+        faults = collapse_faults(s27)
+        p = fault_detection_probabilities(arrays, measures, faults)
+        assert np.all(p >= 0.0) and np.all(p <= 1.0)
+
+
+class TestAnalyzeCircuit:
+    def test_s27_report(self, s27):
+        analysis = analyze_circuit(s27)
+        # s27 is COP-clean: every fault comfortably random-detectable.
+        assert analysis.num_rpr == 0
+        assert analysis.num_untestable == 0
+        assert analysis.expected_test_length() == 109
+        assert len(analysis.faults) == 32
+
+    def test_s208_finds_rpr_faults(self):
+        analysis = analyze_circuit(load_circuit("s208"))
+        assert analysis.num_rpr > 0
+        hardest_p = analysis.rpr_faults()[0][1]
+        assert hardest_p < DEFAULT_RPR_THRESHOLD
+        # The benefit ranking exists and is sorted descending.
+        scores = [score for _, _, score in analysis.benefit_ranking()]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[0] > 0.0
+
+    def test_threshold_is_respected(self, s27):
+        # With an absurd threshold everything is RPR.
+        analysis = analyze_circuit(s27, rpr_threshold=1.0)
+        assert analysis.num_rpr == len(analysis.faults)
+
+    def test_cache_round_trip(self, s27, tmp_path):
+        cache = CompileCache(tmp_path)
+        cold = analyze_circuit(s27, cache=cache)
+        assert not cold.cache_hit
+        warm = analyze_circuit(s27, cache=cache)
+        assert warm.cache_hit
+        assert cold.to_dict(top_k=32) == {
+            **warm.to_dict(top_k=32), "cache_hit": False,
+        }
+
+    def test_cached_measures_survive_pickling(self, s27, tmp_path):
+        cache = CompileCache(tmp_path)
+        analyze_circuit(s27, cache=cache)
+        from repro.robustness.checkpoint import circuit_fingerprint
+
+        state = cache.load(cop_cache_key(circuit_fingerprint(s27)))
+        assert state is not None
+        measures = CopMeasures.from_state(state)
+        fresh = compute_cop(s27.to_arrays())
+        np.testing.assert_array_equal(measures.c1, fresh.c1)
+        np.testing.assert_array_equal(measures.obs, fresh.obs)
+
+
+class TestTestabilityD1Order:
+    D1S = (1, 2, 4, 8)
+
+    def test_is_a_permutation_and_deterministic(self):
+        circuit = load_circuit("s208")
+        first = d1_order(circuit, self.D1S)
+        second = d1_order(circuit, self.D1S)
+        assert first == second
+        assert sorted(first) == sorted(self.D1S)
+
+    def test_is_a_rotation_of_increasing_order(self):
+        # The heuristic keeps the paper's increasing walk (Table 7) and
+        # only picks the starting point; any start must yield a rotation.
+        circuit = load_circuit("s208")
+        order = d1_order(circuit, self.D1S)
+        ordered = sorted(self.D1S)
+        start = ordered.index(order[0])
+        assert order == tuple(ordered[start:] + ordered[:start])
+
+    def test_broken_circuit_falls_back_to_config_order(self):
+        c = Circuit("broken")
+        c.add_input("a")
+        c.add_gate("y", GateType.AND, ["a", "ghost"])  # undriven input
+        c.add_output("y")
+        assert d1_order(c, self.D1S) == self.D1S
+
+    def test_no_flops_falls_back(self, s27):
+        comb = tree_circuit()
+        assert d1_order(comb, self.D1S) == self.D1S
+
+
+@pytest.mark.slow
+class TestLargeCircuitBudget:
+    def test_s38584_analysis_under_ten_seconds(self):
+        import time
+
+        circuit = load_circuit("s38584")
+        t0 = time.perf_counter()
+        analysis = analyze_circuit(circuit)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 10.0, f"s38584 analysis took {elapsed:.1f}s"
+        assert analysis.num_rpr > 0
+        assert len(analysis.faults) == 65720

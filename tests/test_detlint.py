@@ -81,6 +81,50 @@ class TestWallClock:
         assert not is_critical_path(Path("src/repro/experiments/runner.py"))
 
 
+class TestRawCpuCount:
+    def test_os_cpu_count_flagged_in_critical_path(self, tmp_path):
+        findings = _scan_source(
+            tmp_path, "import os\nn = os.cpu_count()\n", critical=True
+        )
+        assert [f.rule for f in findings] == ["DET004"]
+        assert "available_cpu_count" in findings[0].message
+
+    def test_os_cpu_count_allowed_elsewhere(self, tmp_path):
+        # benchmarks/ record host metadata with it; only the
+        # determinism/sizing-critical packages are restricted.
+        assert not _scan_source(tmp_path, "import os\nn = os.cpu_count()\n")
+
+    def test_os_alias_tracked(self, tmp_path):
+        findings = _scan_source(
+            tmp_path, "import os as o\nn = o.cpu_count()\n", critical=True
+        )
+        assert [f.rule for f in findings] == ["DET004"]
+
+    def test_from_import_tracked(self, tmp_path):
+        findings = _scan_source(
+            tmp_path,
+            "from os import cpu_count\nn = cpu_count()\n",
+            critical=True,
+        )
+        assert [f.rule for f in findings] == ["DET004"]
+
+    def test_other_os_calls_ok(self, tmp_path):
+        assert not _scan_source(
+            tmp_path,
+            "import os\np = os.path.join('a', 'b')\nos.getpid()\n",
+            critical=True,
+        )
+
+    def test_inline_suppression(self, tmp_path):
+        findings = _scan_source(
+            tmp_path,
+            "import os\n"
+            "n = os.cpu_count()  # detlint: ignore[DET004]\n",
+            critical=True,
+        )
+        assert not findings
+
+
 class TestSetIteration:
     def test_for_over_set_flagged(self, tmp_path):
         findings = _scan_source(tmp_path, "for v in {1, 2}:\n    print(v)\n")

@@ -7,7 +7,7 @@ import pytest
 from repro.atpg.classify import classify_faults
 from repro.core.config import BistConfig, D1_DECREASING
 from repro.core.cost import ncyc0
-from repro.core.procedure2 import run_procedure2
+from repro.core.procedure2 import resume_procedure2, run_procedure2
 from repro.faults.collapse import collapse_faults
 from repro.faults.fault_sim import FaultSimulator
 
@@ -122,3 +122,83 @@ class TestRunProcedure2:
         cfg = BistConfig(la=4, lb=8, n=8)
         res = run_procedure2(circuit, cfg, faults, simulator=sim)
         assert "complete" in res.summary()
+
+
+class TestCandidateBias:
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(ValueError):
+            BistConfig(candidate_bias="greedy")
+
+    def test_excluded_from_serialized_config(self):
+        # The search order is provenance, not part of the result identity:
+        # journal headers and serialized configs must not change with it,
+        # so uniform runs stay byte-identical across releases.
+        assert (
+            BistConfig(candidate_bias="testability").to_dict()
+            == BistConfig().to_dict()
+        )
+        assert "candidate_bias" not in BistConfig().to_dict()
+
+    def test_result_records_bias(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        for bias in ("uniform", "testability"):
+            cfg = BistConfig(la=4, lb=8, n=8, candidate_bias=bias)
+            res = run_procedure2(circuit, cfg, faults, simulator=sim)
+            assert res.candidate_bias == bias
+            assert res.complete
+
+    def test_uniform_results_unchanged_by_flag(self, s27_setup):
+        circuit, sim, faults = s27_setup
+        implicit = run_procedure2(
+            circuit, BistConfig(la=4, lb=8, n=2), faults, simulator=sim
+        )
+        explicit = run_procedure2(
+            circuit,
+            BistConfig(la=4, lb=8, n=2, candidate_bias="uniform"),
+            faults,
+            simulator=sim,
+        )
+        assert [(p.iteration, p.d1, p.newly_detected) for p in implicit.pairs] == [
+            (p.iteration, p.d1, p.newly_detected) for p in explicit.pairs
+        ]
+        assert implicit.ncyc_total == explicit.ncyc_total
+
+    def test_journal_bytes_identical_across_bias_flag(
+        self, s27_setup, tmp_path
+    ):
+        # Same search outcome (s27's biased order coincides or completes
+        # identically is NOT assumed here -- uniform vs uniform only):
+        # an explicit "uniform" flag must not leave any trace in the
+        # checkpoint journal.
+        circuit, sim, faults = s27_setup
+        paths = []
+        for label, bias in (("a", None), ("b", "uniform")):
+            cfg = (
+                BistConfig(la=4, lb=8, n=8)
+                if bias is None
+                else BistConfig(la=4, lb=8, n=8, candidate_bias=bias)
+            )
+            path = tmp_path / f"{label}.journal"
+            run_procedure2(
+                circuit, cfg, faults, simulator=sim, checkpoint=str(path)
+            )
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        assert b"candidate_bias" not in paths[0].read_bytes()
+
+    def test_testability_bias_resumes_identically(self, s27_setup, tmp_path):
+        # The biased order is re-derived from the circuit on resume, so a
+        # replayed journal must reproduce the run exactly.
+        circuit, sim, faults = s27_setup
+        cfg = BistConfig(la=4, lb=8, n=8, candidate_bias="testability")
+        path = str(tmp_path / "bias.journal")
+        first = run_procedure2(
+            circuit, cfg, faults, simulator=sim, checkpoint=path
+        )
+        resumed = resume_procedure2(
+            circuit, cfg, faults, checkpoint=path, simulator=sim
+        )
+        assert [(p.iteration, p.d1, p.newly_detected) for p in first.pairs] == [
+            (p.iteration, p.d1, p.newly_detected) for p in resumed.pairs
+        ]
+        assert resumed.candidate_bias == "testability"

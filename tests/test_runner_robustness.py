@@ -140,6 +140,8 @@ class TestAtomicWrites:
     def test_failed_write_preserves_previous(self, tmp_path):
         path = tmp_path / "out.txt"
         atomic_write_text(path, "stable")
-        with pytest.raises(TypeError):
+        with pytest.raises((TypeError, AttributeError)):
             atomic_write_text(path, object())  # not a str: write fails
         assert path.read_text() == "stable"
+        # The failed writer cleaned up its private temp file.
+        assert list(tmp_path.iterdir()) == [path]

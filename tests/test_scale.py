@@ -39,6 +39,35 @@ def not_chain(depth: int, name: str = "chain") -> Circuit:
     return c
 
 
+#: Fixed key for the concurrent-writer race: both workers hammer the
+#: SAME cache entry, which is the collision atomic-replace must survive.
+_RACE_FINGERPRINT = "f" * 64
+
+
+def _cache_race_worker(root: str, tag: str, barrier) -> None:
+    """Store/load the shared entry in a tight loop; exit 1 on any tear.
+
+    Module-level (not a closure) so the spawn start method can pickle it.
+    """
+    cache = CompileCache(root)
+    state = {"tag": tag, "payload": list(range(2000))}
+    barrier.wait()
+    for _ in range(50):
+        cache.store(_RACE_FINGERPRINT, state)
+        seen = cache.load(_RACE_FINGERPRINT)
+        # A load during the race sees a complete payload from one of the
+        # writers or (only if replace were non-atomic) a torn entry,
+        # which CompileCache.load maps to None -- also a failure here
+        # because the file certainly exists by now.
+        if (
+            seen is None
+            or seen["tag"] not in ("a", "b")
+            or seen["payload"] != state["payload"]
+        ):
+            raise SystemExit(1)
+    raise SystemExit(0)
+
+
 class TestDeepChainLevelize:
     """The levelizer must be iterative and near-linear in V+E.
 
@@ -223,6 +252,38 @@ class TestCompileCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         cache = CompileCache.from_env()
         assert cache is not None and cache.root == tmp_path
+
+    def test_concurrent_writers_same_fingerprint(self, tmp_path):
+        """Two processes racing the same entry both succeed, no torn reads.
+
+        The cache is shared per machine (``REPRO_CACHE_DIR``), so two
+        sessions compiling the same circuit concurrently is the normal
+        cold-start case, not an edge case.  Atomic replace means every
+        load observes either a miss or one writer's complete payload --
+        never a mix -- and neither writer errors.
+        """
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(
+                target=_cache_race_worker,
+                args=(str(tmp_path), tag, barrier),
+            )
+            for tag in ("a", "b")
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+        assert [p.exitcode for p in procs] == [0, 0]
+        # The surviving entry is whichever store landed last -- complete
+        # and well-formed either way.
+        state = CompileCache(tmp_path).load(_RACE_FINGERPRINT)
+        assert state is not None
+        assert state["tag"] in ("a", "b")
+        assert state["payload"] == list(range(2000))
 
 
 class TestWhereStringCanonicalization:

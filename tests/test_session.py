@@ -82,3 +82,19 @@ class TestLimitedScanBist:
         report = s27_bist.first_complete(max_combos=5)
         row = report.row()
         assert "s27" in row
+
+    def test_analyze_shares_session_cache(self, tmp_path):
+        from repro.circuit.cache import CompileCache
+
+        cache = CompileCache(tmp_path)
+        bist = LimitedScanBist(load_circuit("s27"), cache=cache)
+        cold = bist.analyze()
+        assert not cold.cache_hit
+        assert len(cold.faults) == len(collapse_faults(bist.circuit))
+        warm = bist.analyze()
+        assert warm.cache_hit
+        assert cold.num_rpr == warm.num_rpr
+
+    def test_analyze_threshold_override(self, s27_bist):
+        assert s27_bist.analyze(rpr_threshold=1.0).num_rpr == 32
+        assert s27_bist.analyze().num_rpr == 0

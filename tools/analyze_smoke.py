@@ -1,0 +1,181 @@
+"""CI gate: ``repro analyze`` must work end to end on real scales.
+
+Runs the CLI subcommand as a subprocess (the same entry point a user
+hits) on one small-tier and one large-tier catalog circuit, parses the
+``--json`` output, and checks it against the published schema: every
+key a downstream consumer may rely on must be present, typed, and
+internally consistent (RPR count bounded by the collapsed universe,
+fingerprint well-formed, hardest faults actually under the threshold).
+The large circuit doubles as a wall-clock gate -- the vectorized COP
+sweeps must stay interactive (well under the 10 s budget) at s38584
+scale.
+
+Prints a JSON verdict.  Exit codes: 0 pass, 1 schema/invariant/budget
+failure, 2 the subcommand itself failed.
+
+Usage::
+
+    PYTHONPATH=src python tools/analyze_smoke.py
+        [--small s298] [--large s38584] [--budget-s 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _check_schema(payload: Dict[str, Any], name: str) -> List[str]:
+    """Schema + invariant failures for one analyze payload (empty = ok)."""
+    problems: List[str] = []
+
+    def expect(cond: bool, message: str) -> None:
+        if not cond:
+            problems.append(f"{name}: {message}")
+
+    expect(payload.get("schema") == 1, f"schema != 1: {payload.get('schema')}")
+    expect(payload.get("circuit") == name, "circuit name mismatch")
+    fp = payload.get("fingerprint", "")
+    expect(
+        isinstance(fp, str) and len(fp) == 64
+        and all(c in "0123456789abcdef" for c in fp),
+        "fingerprint is not 64 hex chars",
+    )
+    nets = payload.get("nets", {})
+    for key in ("pi", "ff", "po", "gates", "total"):
+        expect(
+            isinstance(nets.get(key), int) and nets.get(key, -1) >= 0,
+            f"nets.{key} missing or negative",
+        )
+    threshold = payload.get("rpr_threshold")
+    expect(
+        isinstance(threshold, float) and 0.0 < threshold < 1.0,
+        "rpr_threshold not in (0, 1)",
+    )
+    faults = payload.get("faults", {})
+    collapsed = faults.get("collapsed")
+    rpr = faults.get("rpr")
+    expect(isinstance(collapsed, int) and collapsed > 0, "no collapsed faults")
+    expect(isinstance(rpr, int) and 0 <= rpr <= (collapsed or 0),
+           "faults.rpr out of range")
+    expect(
+        isinstance(faults.get("untestable"), int)
+        and 0 <= faults.get("untestable", -1) <= (collapsed or 0),
+        "faults.untestable out of range",
+    )
+    dp = payload.get("detection_probability", {})
+    for key in ("min", "median", "max"):
+        value = dp.get(key)
+        expect(
+            isinstance(value, float) and 0.0 <= value <= 1.0,
+            f"detection_probability.{key} not a probability",
+        )
+    etl = payload.get("expected_test_length", {})
+    expect(
+        isinstance(etl.get("confidence"), float)
+        and 0.0 < etl.get("confidence", 0.0) < 1.0,
+        "expected_test_length.confidence not in (0, 1)",
+    )
+    patterns = etl.get("patterns")
+    expect(
+        patterns is None or (isinstance(patterns, int) and patterns >= 1),
+        "expected_test_length.patterns not None or a positive int",
+    )
+    top = payload.get("top_rpr_faults")
+    expect(isinstance(top, list), "top_rpr_faults not a list")
+    for entry in top if isinstance(top, list) else []:
+        expect(
+            isinstance(entry.get("fault"), str)
+            and isinstance(entry.get("p"), float)
+            and entry["p"] < (threshold or 0.0),
+            f"top_rpr_faults entry not under the threshold: {entry}",
+        )
+    benefit = payload.get("state_bit_benefit")
+    expect(isinstance(benefit, list), "state_bit_benefit not a list")
+    for entry in benefit if isinstance(benefit, list) else []:
+        expect(
+            isinstance(entry.get("position"), int)
+            and isinstance(entry.get("net"), str)
+            and isinstance(entry.get("score"), float)
+            and entry["score"] > 0.0,
+            f"state_bit_benefit entry malformed: {entry}",
+        )
+    expect(isinstance(payload.get("cache_hit"), bool), "cache_hit not a bool")
+    return problems
+
+
+def _run_analyze(name: str) -> Dict[str, Any]:
+    """One CLI invocation: elapsed seconds + parsed payload or error."""
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", name, "--json"],
+        capture_output=True, text=True, env=os.environ.copy(),
+    )
+    elapsed = time.perf_counter() - t0
+    result: Dict[str, Any] = {
+        "circuit": name,
+        "elapsed_seconds": round(elapsed, 3),
+        "returncode": proc.returncode,
+    }
+    if proc.returncode != 0:
+        result["stderr"] = proc.stderr[-2000:]
+        return result
+    try:
+        result["payload"] = json.loads(proc.stdout)
+    except json.JSONDecodeError as exc:
+        result["error"] = f"output is not JSON: {exc}"
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--small", default="s298",
+        help="small-tier circuit to analyze (default: s298)",
+    )
+    parser.add_argument(
+        "--large", default="s38584",
+        help="large-tier circuit to analyze (default: s38584)",
+    )
+    parser.add_argument(
+        "--budget-s", type=float, default=10.0,
+        help="wall-clock budget per circuit, seconds (default: 10)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    runs = [_run_analyze(name) for name in (args.small, args.large)]
+    failures: List[str] = []
+    for run in runs:
+        name = run["circuit"]
+        if run["returncode"] != 0:
+            failures.append(f"{name}: exit {run['returncode']}")
+            continue
+        if "payload" not in run:
+            failures.append(f"{name}: {run.get('error', 'no payload')}")
+            continue
+        failures.extend(_check_schema(run["payload"], name))
+        if run["elapsed_seconds"] > args.budget_s:
+            failures.append(
+                f"{name}: {run['elapsed_seconds']}s exceeds "
+                f"{args.budget_s}s budget"
+            )
+
+    report = {
+        "pass": not failures,
+        "budget_seconds": args.budget_s,
+        "failures": failures,
+        "runs": runs,
+    }
+    print(json.dumps(report, indent=2))
+    if any(r["returncode"] != 0 for r in runs):
+        return 2
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

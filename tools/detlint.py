@@ -18,6 +18,13 @@ each covered by a rule:
 - ``DET003`` **set-iteration** -- iterating a set (or feeding one to
   ``list``/``tuple``/``enumerate``/``str.join``) where the element
   order leaks into output; wrap in ``sorted(...)`` instead.
+- ``DET004`` **raw-cpu-count** -- ``os.cpu_count()`` inside the
+  reproducibility-critical packages.  It reports the machine's cores,
+  which oversubscribes workers under cgroup/affinity limits (containers,
+  CI, ``taskset``); use
+  :func:`repro.faults.sharding.available_cpu_count` instead.  Host
+  metadata recorded by ``benchmarks/`` is outside the critical set and
+  may read it directly.
 
 Usage::
 
@@ -116,6 +123,7 @@ class _Visitor(ast.NodeVisitor):
         self.numpy_aliases: Set[str] = set()
         self.numpy_random_aliases: Set[str] = set()
         self.time_aliases: Set[str] = set()
+        self.os_aliases: Set[str] = set()
         # from-imports: local name -> (module, original name).
         self.from_imports: Dict[str, Tuple[str, str]] = {}
 
@@ -139,6 +147,8 @@ class _Visitor(ast.NodeVisitor):
                     self.numpy_aliases.add("numpy")
             elif alias.name == "time":
                 self.time_aliases.add(local)
+            elif alias.name == "os":
+                self.os_aliases.add(local)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -147,7 +157,7 @@ class _Visitor(ast.NodeVisitor):
             local = alias.asname or alias.name
             if module == "numpy" and alias.name == "random":
                 self.numpy_random_aliases.add(local)
-            elif module in ("random", "numpy.random", "time"):
+            elif module in ("random", "numpy.random", "time", "os"):
                 self.from_imports[local] = (module, alias.name)
         self.generic_visit(node)
 
@@ -168,6 +178,8 @@ class _Visitor(ast.NodeVisitor):
                     return ("numpy.random", node.attr)
                 if value.id in self.time_aliases:
                     return ("time", node.attr)
+                if value.id in self.os_aliases:
+                    return ("os", node.attr)
             if (
                 isinstance(value, ast.Attribute)
                 and value.attr == "random"
@@ -209,6 +221,17 @@ class _Visitor(ast.NodeVisitor):
                     node, "DET002",
                     f"time.{name}() in a reproducibility-critical path; "
                     f"use time.perf_counter() for durations",
+                )
+            elif (
+                module == "os"
+                and name == "cpu_count"
+                and self.in_critical
+            ):
+                self._add(
+                    node, "DET004",
+                    "os.cpu_count() overcounts under cgroup/affinity "
+                    "limits; use repro.faults.sharding."
+                    "available_cpu_count()",
                 )
         self._check_order_sensitive_call(node)
         self.generic_visit(node)
