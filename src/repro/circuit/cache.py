@@ -95,6 +95,25 @@ class CompileCache:
         self.hits += 1
         return payload["state"]
 
+    def stats(self) -> Dict[str, int]:
+        """On-disk entry census plus this instance's hit/miss counters.
+
+        ``entries``/``bytes`` count current-format entries only; stale
+        format versions are invisible (they are misses by filename).
+        Cheap enough for a health endpoint to call per request.
+        """
+        entries = (
+            list(self.root.glob(f"*.v{self.FORMAT_VERSION}.pkl"))
+            if self.root.is_dir()
+            else []
+        )
+        return {
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
     def store(self, fingerprint: str, state: Dict[str, Any]) -> None:
         """Atomically persist ``state`` under ``fingerprint``."""
         from repro.robustness.atomic import atomic_write_bytes

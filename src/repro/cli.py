@@ -11,6 +11,8 @@ Usage::
     python -m repro run s208 --checkpoint s208.journal [--resume]
     python -m repro first-complete s208
     python -m repro table 6 [--full]
+    python -m repro serve --data-dir serve-data [--port 8472]
+    python -m repro serve --healthz --data-dir serve-data
     python -m repro convert s27.bench s27.v
 
 Circuits are catalog names (``python -m repro list``) or paths to
@@ -252,20 +254,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     bist = _bist_from_args(args, circuit, config)
     if args.checkpoint:
-        from repro.core.procedure2 import resume_procedure2, run_procedure2
-        from repro.robustness.checkpoint import CheckpointPolicy
-
-        ckpt = CheckpointPolicy(path=args.checkpoint)
-        if args.resume and Path(args.checkpoint).exists():
-            result = resume_procedure2(
-                circuit, config, bist.target_faults, ckpt,
-                simulator=bist.simulator,
-            )
-        else:
-            result = run_procedure2(
-                circuit, config, bist.target_faults,
-                simulator=bist.simulator, checkpoint=ckpt,
-            )
+        result = bist.run_checkpointed(args.checkpoint, resume=args.resume)
     else:
         result = bist.run()
     print(result.summary())
@@ -343,6 +332,76 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.clean else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.robustness.chaos import ServeChaosPlan
+    from repro.serve.budgets import JobBudget
+    from repro.serve.jobs import JobManager
+    from repro.serve.queue import MultiTenantQueue
+    from repro.serve.server import serve_forever
+
+    if args.healthz:
+        # Probe mode: hit a running server's /healthz and print the JSON.
+        from repro.serve.client import ServeClient
+        from repro.serve.errors import ServeError
+
+        port = args.port
+        port_file = Path(args.data_dir) / "serve.port"
+        if port == 0 and port_file.exists():
+            port = int(port_file.read_text("utf-8").strip())
+        if port == 0:
+            print("serve: --healthz needs --port or a serve.port file",
+                  file=sys.stderr)
+            return 2
+        try:
+            payload = ServeClient(args.host, port).healthz()
+        except (ServeError, OSError) as exc:
+            print(f"serve: health check failed: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    chaos = ServeChaosPlan(
+        exit_after_submits=args.chaos_exit_after_submits,
+    )
+    manager = JobManager(
+        args.data_dir,
+        queue=MultiTenantQueue(
+            max_depth=args.max_queue,
+            rate_per_s=args.rate_per_s,
+            burst=args.burst,
+        ),
+        budget=JobBudget(
+            wall_s=args.wall_budget,
+            mem_mb=args.mem_mb or None,
+            max_retries=args.retries,
+        ),
+        compile_cache_dir=args.cache_dir,
+        chaos=chaos,
+        allow_request_chaos=args.enable_chaos,
+    )
+    print(
+        f"repro serve: data dir {manager.data_dir}, "
+        f"{manager.recovered_jobs} job(s) recovered",
+        file=sys.stderr,
+    )
+    try:
+        asyncio.run(
+            serve_forever(
+                manager,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                port_file=manager.data_dir / "serve.port",
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - loop usually handles it
+        pass
+    return 0
 
 
 def cmd_convert(args: argparse.Namespace) -> int:
@@ -520,6 +579,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the triage report as JSON")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="durable crash-safe job service over HTTP (see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port; 0 (default) picks an ephemeral port "
+                        "and records it in <data-dir>/serve.port")
+    p.add_argument("--data-dir", default="serve-data", dest="data_dir",
+                   help="journal, spooled jobs, and result cache "
+                        "(default ./serve-data); restart with the same "
+                        "dir to recover in-flight jobs")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent job executions (default 1)")
+    p.add_argument("--max-queue", type=int, default=64, dest="max_queue",
+                   help="bounded queue depth before Q001 shedding")
+    p.add_argument("--rate-per-s", type=float, default=2.0,
+                   dest="rate_per_s",
+                   help="per-tenant submission refill rate (default 2/s)")
+    p.add_argument("--burst", type=float, default=10.0,
+                   help="per-tenant submission burst size (default 10)")
+    p.add_argument("--wall-budget", type=float, default=300.0,
+                   dest="wall_budget", metavar="SECONDS",
+                   help="wall-clock budget per job attempt (default 300s)")
+    p.add_argument("--mem-mb", type=int, default=2048,
+                   help="RLIMIT_AS per job child in MiB; 0 = unlimited")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retries per job after the first attempt "
+                        "(each resumes from the checkpoint; default 1)")
+    p.add_argument("--cache-dir", metavar="DIR", dest="cache_dir",
+                   help="compile-cache directory shared by job children")
+    p.add_argument("--enable-chaos", action="store_true",
+                   dest="enable_chaos",
+                   help="accept per-request chaos plans (tests only)")
+    p.add_argument("--chaos-exit-after-submits", type=int, default=None,
+                   dest="chaos_exit_after_submits", metavar="N",
+                   help="chaos: hard-exit the server after N accepted "
+                        "submissions (crash-recovery tests)")
+    p.add_argument("--healthz", action="store_true",
+                   help="probe a running server's /healthz (using --port "
+                        "or <data-dir>/serve.port) and print the JSON")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("convert", help="convert between .bench and .v")
     p.add_argument("source")

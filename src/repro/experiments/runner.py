@@ -21,6 +21,14 @@ Section failures never kill the batch; they are reported inline
 message, traceback, elapsed seconds) in a machine-readable
 ``failures.json``, and make the runner exit nonzero.
 
+``SIGTERM`` and ``SIGINT`` are handled gracefully: the in-flight
+section runs to completion and is recorded like any other, the
+manifest and combined outputs are written atomically, and the runner
+exits with :data:`EXIT_INTERRUPTED` (75) so a supervisor can tell "told
+to stop, state consistent, safe to ``--resume``" apart from both
+success (0) and section failures (1).  A second signal falls back to
+the default disposition, so a wedged section can still be killed.
+
 Every batch starts with a design-rule lint preflight over the circuits
 it will simulate (see :mod:`repro.analysis`); a circuit with structural
 errors aborts the run before any simulation time is spent.
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 import traceback
@@ -48,6 +57,49 @@ from repro.robustness.atomic import atomic_write_json, atomic_write_text
 
 #: Schema version of ``manifest.json``.
 MANIFEST_VERSION = 1
+
+#: Exit status after a graceful SIGTERM/SIGINT stop (``EX_TEMPFAIL``:
+#: nothing is corrupt, rerunning with ``--resume`` continues the batch).
+EXIT_INTERRUPTED = 75
+
+
+class _GracefulStop:
+    """Defers SIGTERM/SIGINT to the next section boundary.
+
+    The first signal only sets a flag -- the in-flight section finishes
+    and its output is committed -- and restores the previous handler, so
+    a second signal behaves normally (i.e. kills a wedged section).
+    Installation is skipped outside the main thread, where CPython
+    forbids ``signal.signal``.
+    """
+
+    def __init__(self) -> None:
+        self.signum: Optional[int] = None
+        self._previous: Dict[int, Any] = {}
+
+    def _handle(self, signum: int, _frame: Any) -> None:
+        self.signum = signum
+        self.restore()
+
+    def install(self) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except ValueError:  # not the main thread
+                self._previous.pop(signum, None)
+                return
+
+    def restore(self) -> None:
+        for signum, handler in self._previous.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+        self._previous = {}
+
+    @property
+    def stopped(self) -> bool:
+        return self.signum is not None
 
 
 def lint_preflight(circuit_names: Sequence[str]) -> str:
@@ -199,6 +251,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="skip sections already completed per DIR/manifest.json "
              "(failed sections are re-run)",
     )
+    parser.add_argument(
+        "--sections", default=None, metavar="NAMES",
+        help="comma-separated section names to run (default: all); "
+             "unknown names are an error",
+    )
     return parser
 
 
@@ -215,6 +272,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     manifest_path = out_dir / "manifest.json"
     previous = _load_manifest(manifest_path, args.full) if args.resume else {}
 
+    specs = _section_specs(args.full, out_dir)
+    if args.sections is not None:
+        wanted = [s for s in args.sections.split(",") if s]
+        known = {name for name, _ in specs}
+        unknown = [s for s in wanted if s not in known]
+        if unknown:
+            print(
+                f"unknown section(s): {', '.join(unknown)}; "
+                f"available: {', '.join(name for name, _ in specs)}",
+                file=sys.stderr,
+            )
+            return 2
+        specs = [(name, fn) for name, fn in specs if name in wanted]
+
     circuits = table6.PAPER_CIRCUITS if args.full else table6.DEFAULT_CIRCUITS
     print("=== lint preflight")
     print(lint_preflight(circuits))
@@ -222,6 +293,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sections: List[Tuple[str, str]] = []
     failures: List[Dict[str, Any]] = []
     completed: Dict[str, Any] = {}
+    stop = _GracefulStop()
+    stop.install()
 
     def save_manifest() -> None:
         atomic_write_json(
@@ -238,7 +311,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             },
         )
 
-    for name, fn in _section_specs(args.full, out_dir):
+    for name, fn in specs:
+        if stop.stopped:
+            break
         section_path = out_dir / f"{canonical_result_name(name)}.txt"
         cached = previous.get(name)
         if (
@@ -280,6 +355,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"=== {name} ({elapsed:.1f}s)"
               + (" FAILED" if status == "failed" else ""))
 
+    stop.restore()
     combined = "\n\n".join(f"## {name}\n\n{text}" for name, text in sections)
     atomic_write_text(out_dir / "all_experiments.txt", combined + "\n")
     atomic_write_json(out_dir / "failures.json", failures)
@@ -287,6 +363,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if failures:
         names = ", ".join(f["section"] for f in failures)
         print(f"{len(failures)} section(s) failed: {names}", file=sys.stderr)
+    if stop.stopped:
+        # Interrupt wins over failure exits: the batch is incomplete by
+        # request, every committed section is consistent, and --resume
+        # will finish (and re-run any failed) sections.
+        signame = signal.Signals(stop.signum).name
+        print(
+            f"stopped by {signame} after the in-flight section; "
+            f"resume with --resume",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     return 1 if failures else 0
 
 

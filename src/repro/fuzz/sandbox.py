@@ -39,13 +39,42 @@ class SandboxVerdict:
     detail: str = ""
 
 
+def _arm_pdeathsig() -> None:
+    """Die with the parent: Linux ``PR_SET_PDEATHSIG`` (best-effort).
+
+    A sandboxed job whose parent service is SIGKILLed must not linger
+    as an orphan -- an orphan would keep appending to the job's
+    checkpoint journal while the restarted service resumes from it.
+    On Linux the kernel delivers SIGKILL to the child the moment the
+    parent (strictly: the forking thread) dies; elsewhere this is a
+    no-op and callers fall back on wall-clock budgets.
+    """
+    try:
+        import ctypes
+        import signal as _signal
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, _signal.SIGKILL, 0, 0, 0)  # PR_SET_PDEATHSIG
+    except Exception:  # pragma: no cover - non-Linux / no libc
+        return
+    # The parent may have died between fork and prctl; a reparented
+    # child never gets the signal, so check once explicitly.
+    import os as _os
+
+    if _os.getppid() == 1:  # pragma: no cover - microscopic race window
+        _os._exit(1)
+
+
 def _child_entry(
     conn,
     fn: Callable[..., Dict[str, Any]],
     args: tuple,
     mem_bytes: Optional[int],
+    pdeathsig: bool = False,
 ) -> None:
     """Runs in the forked child: apply limits, run, ship the dict back."""
+    if pdeathsig:
+        _arm_pdeathsig()
     if mem_bytes and resource is not None:
         try:
             resource.setrlimit(resource.RLIMIT_AS, (mem_bytes, mem_bytes))
@@ -72,18 +101,27 @@ def run_sandboxed(
     args: tuple,
     timeout_s: float,
     mem_bytes: Optional[int] = None,
+    pdeathsig: bool = False,
+    on_start: Optional[Callable[[int], None]] = None,
 ) -> SandboxVerdict:
     """Run ``fn(*args)`` in a forked child under time and memory budgets.
 
     ``fn`` must return a plain dict.  On timeout the child is killed; on
     a hard death (segfault, OOM-killer) the exit code is reported.
+
+    ``pdeathsig`` makes the child die with this process (Linux) --
+    required by long-running services whose children journal to shared
+    files.  ``on_start`` receives the child's pid as soon as it exists,
+    so a supervisor can record or kill it out-of-band.
     """
     ctx = mp.get_context("fork")
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
-        target=_child_entry, args=(child_conn, fn, args, mem_bytes)
+        target=_child_entry, args=(child_conn, fn, args, mem_bytes, pdeathsig)
     )
     proc.start()
+    if on_start is not None:
+        on_start(proc.pid)
     child_conn.close()
     try:
         if parent_conn.poll(timeout_s):

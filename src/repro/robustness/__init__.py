@@ -18,8 +18,20 @@ small amount of journaled state.
   manifests, and journal headers.
 """
 
-from repro.robustness.atomic import atomic_write_json, atomic_write_text
-from repro.robustness.chaos import ChaosError, ChaosPlan, execute_injected
+from repro.robustness.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+)
+from repro.robustness.chaos import (
+    ChaosError,
+    ChaosPlan,
+    ServeChaosPlan,
+    execute_injected,
+    install_commit_bomb,
+    truncate_tail,
+)
 from repro.robustness.checkpoint import (
     JOURNAL_VERSION,
     CheckpointError,
@@ -42,10 +54,15 @@ __all__ = [
     "ChaosError",
     "ChaosPlan",
     "DegradationReport",
+    "ServeChaosPlan",
     "ShardEvent",
+    "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",
     "execute_injected",
     "fingerprint_faults",
+    "fsync_dir",
+    "install_commit_bomb",
     "load_checkpoint",
+    "truncate_tail",
 ]

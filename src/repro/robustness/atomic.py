@@ -16,6 +16,14 @@ whichever calls ``os.replace`` second dies with ``FileNotFoundError``.
 A crash between the write and the replace leaves only a stray
 ``*.tmp`` file next to the destination; the destination itself is never
 observed in a partial state.
+
+``os.replace`` alone makes the *content* durable but not the *name*:
+the rename lives in the parent directory, and on POSIX a directory
+entry is only guaranteed on stable storage after the directory itself
+is fsynced.  Without it, a power loss shortly after a "committed"
+atomic write can bring the filesystem back with the old name mapping --
+the write is silently lost even though the writer returned.  Every
+replace is therefore followed by :func:`fsync_dir` on the parent.
 """
 
 from __future__ import annotations
@@ -25,6 +33,26 @@ import os
 import tempfile
 from pathlib import Path
 from typing import Any, Union
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Flush a directory's entry table to stable storage (POSIX).
+
+    Best-effort: platforms or filesystems that cannot fsync a directory
+    fd (or open one at all) are skipped silently -- the write itself is
+    already durable, only the rename's crash-durability degrades to the
+    filesystem's own ordering guarantees.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(
@@ -56,6 +84,9 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        # The rename is an entry in the parent directory; make it
+        # durable too, or a crash can forget a "committed" write.
+        fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)

@@ -1,0 +1,76 @@
+"""``repro serve``: a durable, crash-safe BIST-characterization service.
+
+The paper's Procedure 2 takes minutes per circuit; this package turns
+:class:`repro.core.session.LimitedScanBist` into a long-running job
+service that survives being SIGKILLed at any instant:
+
+- every acknowledged submission and state transition is fsynced to a
+  JSONL job journal (:mod:`~repro.serve.journal`) *before* it is acted
+  on, so a restarted server replays to exactly the pre-crash state;
+- in-flight jobs resume from their Procedure 2 checkpoint journals
+  (:mod:`repro.robustness.checkpoint`) and produce results
+  byte-identical to an uninterrupted run;
+- identical submissions are answered from a content-addressed result
+  cache (:mod:`~repro.serve.cache`) without a single fault-simulation
+  dispatch;
+- admission control (:mod:`~repro.serve.queue`) sheds overload with
+  structured 429-style errors instead of collapsing;
+- each job runs in a sandboxed child under wall-clock and memory
+  budgets (:mod:`~repro.serve.budgets`) with seeded-deterministic retry
+  backoff and graceful degradation to partial results;
+- ingestion (:meth:`JobManager.submit <repro.serve.jobs.JobManager.submit>`)
+  is a trust boundary: the hardened ``.bench`` parser and the
+  structural lint gate refuse malformed netlists with stable
+  ``E``/``S`` codes before they cost any queue capacity.
+
+Everything is standard library + the repository itself: the HTTP layer
+(:mod:`~repro.serve.server`) is hand-rolled on ``asyncio.start_server``
+and the client (:mod:`~repro.serve.client`) on ``http.client``.
+
+Start it with ``repro serve --data-dir DIR``; see ``docs/serving.md``.
+"""
+
+from repro.serve.budgets import BudgetedRun, JobBudget, run_job_with_budget
+from repro.serve.cache import ResultCache, submission_key
+from repro.serve.client import ServeClient
+from repro.serve.errors import ServeError
+from repro.serve.jobs import JobManager
+from repro.serve.journal import JOB_JOURNAL_VERSION, JobJournal, JobJournalError
+from repro.serve.models import (
+    DONE,
+    FAILED,
+    PARTIAL,
+    PRIORITY_CLASSES,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobRecord,
+)
+from repro.serve.queue import MultiTenantQueue, TokenBucket
+from repro.serve.server import ServeApp, serve_forever
+
+__all__ = [
+    "BudgetedRun",
+    "JobBudget",
+    "run_job_with_budget",
+    "ResultCache",
+    "submission_key",
+    "ServeClient",
+    "ServeError",
+    "JobManager",
+    "JOB_JOURNAL_VERSION",
+    "JobJournal",
+    "JobJournalError",
+    "DONE",
+    "FAILED",
+    "PARTIAL",
+    "PRIORITY_CLASSES",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "MultiTenantQueue",
+    "TokenBucket",
+    "ServeApp",
+    "serve_forever",
+]

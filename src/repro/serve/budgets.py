@@ -1,0 +1,133 @@
+"""Per-job resource budgets: wall-clock, address space, bounded retries.
+
+Every attempt runs in a fresh sandboxed child
+(:func:`repro.fuzz.sandbox.run_sandboxed`) under a wall-clock budget
+(parent-enforced) and an ``RLIMIT_AS`` budget (kernel-enforced), with
+``pdeathsig`` armed so a SIGKILLed server takes its children down with
+it -- an orphan would keep appending to a checkpoint journal the
+restarted server is resuming from.
+
+Failures retry with *seeded* exponential backoff -- literally
+:meth:`repro.faults.sharding.RecoveryPolicy.backoff_delay`, keyed by
+``(seed, job_seq, 0, attempt)`` -- so recovery timing is as
+deterministic as everything else.  Every retry resumes from the job's
+checkpoint journal: each attempt extends the committed prefix, so even
+a budget too small for one uninterrupted run converges over retries,
+and a final failure still leaves an honest partial result behind.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.faults.sharding import RecoveryPolicy
+from repro.fuzz.sandbox import STATUS_OK, SandboxVerdict, run_sandboxed
+from repro.serve import errors
+from repro.serve.worker import job_child_main
+
+#: Sandbox status -> the stable budget error code recorded on the job.
+STATUS_TO_CODE = {
+    "timeout": errors.BUDGET_WALL,
+    "oom": errors.BUDGET_MEMORY,
+    "killed": errors.WORKER_DIED,
+}
+
+
+@dataclass(frozen=True)
+class JobBudget:
+    """Resource envelope of one job.
+
+    Attributes:
+        wall_s: wall-clock seconds *per attempt* (a retry resumes from
+            the checkpoint, so total forward progress is cumulative).
+        mem_mb: ``RLIMIT_AS`` in MiB for the job child; None = unlimited.
+        max_retries: attempts after the first before the job is declared
+            failed (or partial, if its journal has committed progress).
+        backoff_seed: seed of the deterministic retry backoff.
+    """
+
+    wall_s: float = 300.0
+    mem_mb: Optional[int] = 2048
+    max_retries: int = 1
+    backoff_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wall_s <= 0:
+            raise ValueError("wall_s must be positive")
+        if self.mem_mb is not None and self.mem_mb < 1:
+            raise ValueError("mem_mb must be >= 1 (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def backoff_delay(self, job_seq: int, attempt: int) -> float:
+        """Seeded exponential backoff before retry ``attempt``."""
+        policy = RecoveryPolicy(
+            max_retries=self.max_retries, seed=self.backoff_seed
+        )
+        return policy.backoff_delay(job_seq, 0, attempt)
+
+
+@dataclass
+class BudgetedRun:
+    """Outcome of a job's full attempt loop."""
+
+    verdict: SandboxVerdict
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict.status == STATUS_OK
+
+    @property
+    def error_code(self) -> Optional[str]:
+        if self.ok:
+            return None
+        return STATUS_TO_CODE.get(self.verdict.status, errors.WORKER_DIED)
+
+
+def run_job_with_budget(
+    payload: Dict[str, Any],
+    budget: JobBudget,
+    job_seq: int,
+    on_attempt: Optional[Callable[[int], None]] = None,
+    on_child_start: Optional[Callable[[int], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> BudgetedRun:
+    """Run one job under its budget, retrying with seeded backoff.
+
+    Blocking -- the manager calls this from a worker thread.  Attempt 0
+    honors ``payload['resume']`` as given (crash recovery passes True);
+    every subsequent attempt forces ``resume=True`` so committed
+    progress from the failed attempt is never re-simulated.
+    """
+    verdict = SandboxVerdict("killed", detail="never attempted")
+    attempts = 0
+    for attempt in range(budget.max_retries + 1):
+        if attempt > 0:
+            sleep(budget.backoff_delay(job_seq, attempt - 1))
+        task = dict(payload, resume=payload.get("resume") or attempt > 0)
+        chaos = task.get("chaos")
+        if chaos:
+            from repro.robustness.chaos import ServeChaosPlan
+
+            task["chaos"] = ServeChaosPlan.from_dict(chaos).for_attempt(
+                attempt
+            )
+        if on_attempt is not None:
+            on_attempt(attempt)
+        attempts = attempt + 1
+        verdict = run_sandboxed(
+            job_child_main,
+            (task,),
+            timeout_s=budget.wall_s,
+            mem_bytes=(
+                budget.mem_mb * 1024 * 1024 if budget.mem_mb else None
+            ),
+            pdeathsig=True,
+            on_start=on_child_start,
+        )
+        if verdict.status == STATUS_OK:
+            break
+    return BudgetedRun(verdict=verdict, attempts=attempts)

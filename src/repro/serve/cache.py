@@ -1,0 +1,136 @@
+"""Content-addressed Procedure 2 result cache.
+
+The paper's Procedure 2 is minutes-scale on real circuits, but its
+output is a pure function of ``(circuit structure, result-affecting
+config, target-fault universe)``.  The cache key -- the *submission
+fingerprint* -- hashes exactly those inputs:
+
+- the submitted circuit name and
+  :func:`repro.robustness.checkpoint.circuit_fingerprint` (canonical
+  ``.bench`` text -- the same structural identity the compile cache
+  uses; the name rides along because served results embed it), plus
+- :meth:`BistConfig.to_dict` (execution knobs excluded, so serial and
+  parallel submissions share entries), plus
+- the target *mode* (``collapsed``/``detectable``) rather than the
+  materialized fault list, so the key is computable at submission time
+  without running fault collapse or PODEM classification.
+
+The finer-grained
+:func:`~repro.robustness.checkpoint.session_fingerprint` (which hashes
+the materialized fault list) is computed by the job worker and stored
+*inside* each entry as provenance: two submissions with the same
+submission key are guaranteed the same session fingerprint, because the
+fault list is itself a deterministic function of the hashed inputs.
+
+Entries are canonical JSON (sorted keys), written atomically, keyed by
+``<key>.v<FORMAT_VERSION>.json``.  A torn or corrupt entry is a miss
+that the next completed job silently heals -- exactly the compile
+cache's contract (:mod:`repro.circuit.cache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.robustness.atomic import atomic_write_text
+
+
+def submission_key(
+    circuit_name: str, circuit_fingerprint: str, config: Any, targets: str
+) -> str:
+    """The content-addressed result-cache key for one submission.
+
+    The circuit *name* participates (as it does in
+    ``session_fingerprint``): results embed the name, so keying on it
+    keeps every cache hit byte-identical to a fresh run of the same
+    submission.
+    """
+    digest = hashlib.sha256()
+    digest.update(circuit_name.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(circuit_fingerprint.encode("utf-8"))
+    digest.update(
+        json.dumps(config.to_dict(), sort_keys=True).encode("utf-8")
+    )
+    digest.update(targets.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """On-disk store of served Procedure 2 results."""
+
+    #: Bump when the stored payload's schema changes incompatibly.
+    FORMAT_VERSION = 1
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.v{self.FORMAT_VERSION}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None on any kind of miss."""
+        try:
+            payload = json.loads(self.path_for(key).read_text("utf-8"))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != self.FORMAT_VERSION
+            or payload.get("key") != key
+            or "result" not in payload
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(
+        self,
+        key: str,
+        result: Dict[str, Any],
+        session_fingerprint: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Atomically persist a completed result under ``key``.
+
+        Only *complete* runs belong here: a partial result (budget
+        expiry) is job state, not a cacheable answer -- callers keep
+        those under the job directory instead.
+        """
+        payload = {
+            "format": self.FORMAT_VERSION,
+            "key": key,
+            "session_fingerprint": session_fingerprint,
+            "result": result,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.path_for(key),
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+        self.stores += 1
+        return payload
+
+    def stats(self) -> Dict[str, int]:
+        entries = (
+            list(self.root.glob(f"*.v{self.FORMAT_VERSION}.json"))
+            if self.root.is_dir()
+            else []
+        )
+        return {
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

@@ -1,0 +1,129 @@
+"""Blocking stdlib client for the serve API.
+
+``http.client`` only -- usable from tests, ``tools/serve_smoke.py``,
+and user scripts without any dependency beyond the standard library.
+Server-side refusals come back as the same :class:`ServeError` the
+server raised, reconstructed from the structured error envelope, so
+callers branch on ``exc.code`` identically in-process and over HTTP.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.serve.errors import ServeError
+from repro.serve.models import TERMINAL_STATES
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8472, timeout_s: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport -------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            data = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if data else {}
+            conn.request(method, path, body=data, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServeError(
+                "X001",
+                f"server returned non-JSON ({response.status}): {raw[:200]!r}",
+                http_status=response.status,
+            ) from exc
+        if response.status >= 400:
+            error = payload.get("error", {}) if isinstance(payload, dict) else {}
+            raise ServeError(
+                error.get("code", "X001"),
+                error.get("message", f"HTTP {response.status}"),
+                http_status=response.status,
+                detail=error.get("detail"),
+            )
+        return payload
+
+    # -- API -------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        bench: str,
+        name: str = "bench",
+        config: Optional[Dict[str, Any]] = None,
+        tenant: str = "anonymous",
+        priority: str = "standard",
+        targets: str = "collapsed",
+        chaos: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "bench": bench,
+            "name": name,
+            "tenant": tenant,
+            "priority": priority,
+            "targets": targets,
+        }
+        if config:
+            body["config"] = config
+        if chaos:
+            body["chaos"] = chaos
+        return self._request("POST", "/jobs", body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def events(self, job_id: str, since: int = 0) -> List[Dict[str, Any]]:
+        return self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}"
+        )["events"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final status.
+
+        Raises :class:`TimeoutError` (the stdlib one) if the job is
+        still running when ``timeout_s`` elapses -- the job itself is
+        unaffected; only this client stopped waiting.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']!r} "
+                    f"after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,92 @@
+"""Stable, structured errors for the job service.
+
+Every rejection the service issues carries a short stable code, an HTTP
+status, and a human message; clients switch on the code, never on
+message text.  Three code families exist:
+
+- ``E001``--``E010`` -- netlist parse rejections, verbatim from the
+  hardened ``.bench`` parser (:mod:`repro.circuit.bench_parser`): the
+  service's ingestion boundary *is* the parser's trust boundary.
+- ``S00x`` -- structural lint rejections, verbatim from the design-rule
+  registry (:mod:`repro.analysis`): a netlist that parses but cannot be
+  simulated soundly is refused before it costs queue capacity.
+- ``Q/J/C/B`` -- service-level codes defined here: queueing (``Qxxx``,
+  the 429-style load-shedding family), job lookup (``Jxxx``), request
+  construction (``Cxxx``), and resource budgets (``Bxxx``, recorded on
+  jobs rather than returned over HTTP).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Service-level error codes (stable; add, never repurpose).
+QUEUE_FULL = "Q001"          # bounded queue depth exceeded -> 429
+RATE_LIMITED = "Q002"        # tenant token bucket empty -> 429
+BAD_PRIORITY = "Q003"        # unknown priority class -> 400
+UNKNOWN_JOB = "J001"         # no such job id -> 404
+RESULT_NOT_READY = "J002"    # job exists, still queued/running -> 409
+BAD_REQUEST = "C001"         # malformed body / missing fields -> 400
+BAD_CONFIG = "C002"          # BistConfig rejected the parameters -> 400
+BUDGET_WALL = "B001"         # wall-clock budget exhausted (job outcome)
+BUDGET_MEMORY = "B002"       # address-space budget exhausted (job outcome)
+WORKER_DIED = "B003"         # job worker died without a verdict (job outcome)
+
+
+class ServeError(Exception):
+    """A structured rejection: stable ``code`` + HTTP status + detail."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        http_status: int = 400,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.http_status = http_status
+        self.detail = detail or {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": {
+                "code": self.code,
+                "message": str(self),
+                **({"detail": self.detail} if self.detail else {}),
+            }
+        }
+
+
+def from_parse_error(exc: Any) -> ServeError:
+    """Wrap a :class:`~repro.circuit.bench_parser.BenchParseError`.
+
+    The primary code is the first issue's ``E`` code; every issue rides
+    along in ``detail`` so a client sees the parser's full diagnosis in
+    one round trip.
+    """
+    issues = [
+        {"code": i.code, "lineno": i.lineno, "message": i.message}
+        for i in exc.issues
+    ]
+    first = issues[0] if issues else {"code": "E000", "message": str(exc)}
+    return ServeError(
+        first["code"],
+        f"netlist rejected: {first['message']}",
+        http_status=422,
+        detail={"issues": issues},
+    )
+
+
+def from_lint_report(report: Any) -> ServeError:
+    """Wrap a failing structural :class:`~repro.analysis.LintReport`."""
+    errors = [
+        {"code": i.rule_id, "message": i.message} for i in report.errors
+    ]
+    first = errors[0]
+    return ServeError(
+        first["code"],
+        f"netlist rejected by design-rule lint: {first['message']}",
+        http_status=422,
+        detail={"issues": errors},
+    )

@@ -1,0 +1,137 @@
+"""Job records: the unit of state the journal makes durable.
+
+A job's life is a tiny state machine::
+
+    queued -> running -> done        (result in the content-addressed cache)
+                      -> partial     (budget expired; last committed
+                                      checkpoint served as a partial result)
+                      -> failed      (structured error code, e.g. B003)
+
+plus ``done`` directly from submission when the result cache already
+holds the answer.  Every transition is journaled before it is acted on,
+so a crashed server reconstructs exactly this machine on restart:
+``queued`` jobs are still queued, ``running`` jobs are re-dispatched
+with ``resume=True`` against their checkpoint journal, terminal jobs
+are served from disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Job states (terminal: done / partial / failed).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+PARTIAL = "partial"
+FAILED = "failed"
+
+TERMINAL_STATES = (DONE, PARTIAL, FAILED)
+
+#: Priority classes, best first.  Order is the scheduling order.
+PRIORITY_CLASSES = ("interactive", "standard", "batch")
+
+#: Target-fault universes a submission may request (mirrors the CLI).
+TARGET_MODES = ("collapsed", "detectable")
+
+
+@dataclass
+class JobRecord:
+    """Everything the service knows about one submission."""
+
+    job_id: str
+    seq: int                      # monotone submission sequence number
+    tenant: str
+    priority: str
+    targets: str                  # one of TARGET_MODES
+    config: Dict[str, Any]        # BistConfig.to_dict() (result-affecting)
+    circuit_name: str
+    circuit_fingerprint: str
+    submission_key: str           # content-addressed result-cache key
+    bench_path: str               # spooled netlist, relative to data_dir
+    state: str = QUEUED
+    attempts: int = 0
+    cached: bool = False          # served from the result cache, no child
+    result_key: Optional[str] = None
+    session_fingerprint: Optional[str] = None
+    error: Optional[Dict[str, Any]] = None
+    submitted_at: float = 0.0     # wall-clock, informational only
+    finished_at: Optional[float] = None
+    chaos: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "targets": self.targets,
+            "config": self.config,
+            "circuit_name": self.circuit_name,
+            "circuit_fingerprint": self.circuit_fingerprint,
+            "submission_key": self.submission_key,
+            "bench_path": self.bench_path,
+            "state": self.state,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "result_key": self.result_key,
+            "session_fingerprint": self.session_fingerprint,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "chaos": self.chaos,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        return cls(
+            job_id=data["job_id"],
+            seq=data["seq"],
+            tenant=data["tenant"],
+            priority=data["priority"],
+            targets=data["targets"],
+            config=data["config"],
+            circuit_name=data["circuit_name"],
+            circuit_fingerprint=data["circuit_fingerprint"],
+            submission_key=data["submission_key"],
+            bench_path=data["bench_path"],
+            state=data.get("state", QUEUED),
+            attempts=data.get("attempts", 0),
+            cached=data.get("cached", False),
+            result_key=data.get("result_key"),
+            session_fingerprint=data.get("session_fingerprint"),
+            error=data.get("error"),
+            submitted_at=data.get("submitted_at", 0.0),
+            finished_at=data.get("finished_at"),
+            chaos=data.get("chaos") or {},
+        )
+
+    def public_dict(self) -> Dict[str, Any]:
+        """The status payload clients see (spool paths stay private)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "targets": self.targets,
+            "circuit": self.circuit_name,
+            "circuit_fingerprint": self.circuit_fingerprint,
+            "submission_key": self.submission_key,
+            "state": self.state,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def count_by_state(jobs: List[JobRecord]) -> Dict[str, int]:
+    counts = {s: 0 for s in (QUEUED, RUNNING, DONE, PARTIAL, FAILED)}
+    for job in jobs:
+        counts[job.state] = counts.get(job.state, 0) + 1
+    return counts

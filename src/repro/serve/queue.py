@@ -1,0 +1,171 @@
+"""Multi-tenant admission control: priorities, rate limits, bounded depth.
+
+The queue is the service's overload valve.  Three rules, applied at
+submission time in this order:
+
+1. **Priority class must exist** (``interactive`` > ``standard`` >
+   ``batch``); unknown classes are a 400 (``Q003``), not a silent
+   default -- a typo'd priority is a client bug worth surfacing.
+2. **Per-tenant token bucket**: each tenant refills at ``rate_per_s``
+   up to ``burst``; an empty bucket sheds the submission with ``Q002``
+   and a ``retry_after`` hint instead of letting one tenant starve the
+   rest.
+3. **Bounded depth**: at ``max_depth`` pending jobs the queue sheds
+   with ``Q001`` -- the 429 a client can back off on, rather than the
+   collapse (unbounded memory, minutes of latency) it cannot.
+
+Scheduling is strict priority, FIFO within a class.  Recovery re-queues
+(:meth:`MultiTenantQueue.requeue`) bypass rules 2 and 3: those jobs
+were already admitted and journaled, and durability outranks shedding.
+
+The clock is injectable so rate-limit tests are deterministic; the
+default is :func:`time.monotonic` (never wall-clock: a step of the
+system clock must not refill anyone's bucket).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.serve import errors
+from repro.serve.errors import ServeError
+from repro.serve.models import PRIORITY_CLASSES
+
+
+class TokenBucket:
+    """Classic token bucket with an injectable monotonic clock."""
+
+    def __init__(
+        self, rate_per_s: float, burst: float, clock: Callable[[], float]
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate_per_s
+        )
+        self._last = now
+
+    def try_take(self) -> Optional[float]:
+        """Take one token; on failure return seconds until one exists."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return None
+        if self.rate_per_s <= 0:
+            return float("inf")
+        return (1.0 - self._tokens) / self.rate_per_s
+
+
+class MultiTenantQueue:
+    """Bounded, rate-limited, strict-priority job queue.
+
+    Pure data structure (no asyncio, no threads): the manager layers
+    its own wakeup on top.  All methods are O(log n) or better.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        rate_per_s: float = 2.0,
+        burst: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._heap: List[Tuple[int, int, str]] = []  # (rank, tiebreak, id)
+        self._tiebreak = itertools.count()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.shed_full = 0
+        self.shed_rate_limited = 0
+        self.admitted = 0
+
+    # -- admission -------------------------------------------------------
+    def _rank(self, priority: str) -> int:
+        try:
+            return PRIORITY_CLASSES.index(priority)
+        except ValueError:
+            raise ServeError(
+                errors.BAD_PRIORITY,
+                f"unknown priority {priority!r}; one of "
+                f"{', '.join(PRIORITY_CLASSES)}",
+                http_status=400,
+            ) from None
+
+    def submit(self, job_id: str, tenant: str, priority: str) -> None:
+        """Admit a job or shed it with a structured 429-style error."""
+        rank = self._rank(priority)
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.rate_per_s, self.burst, self._clock
+            )
+        retry_after = bucket.try_take()
+        if retry_after is not None:
+            self.shed_rate_limited += 1
+            raise ServeError(
+                errors.RATE_LIMITED,
+                f"tenant {tenant!r} is over its submission rate",
+                http_status=429,
+                detail={"retry_after_s": round(retry_after, 3)},
+            )
+        if len(self._heap) >= self.max_depth:
+            self.shed_full += 1
+            raise ServeError(
+                errors.QUEUE_FULL,
+                f"queue depth {self.max_depth} reached; retry later",
+                http_status=429,
+                detail={"depth": len(self._heap)},
+            )
+        heapq.heappush(self._heap, (rank, next(self._tiebreak), job_id))
+        self.admitted += 1
+
+    def requeue(self, job_id: str, priority: str) -> None:
+        """Re-admit a journaled job during crash recovery.
+
+        No rate limit and no depth bound: the job was already accepted
+        and made durable; forgetting it now would break the service's
+        central promise.
+        """
+        rank = self._rank(priority)
+        heapq.heappush(self._heap, (rank, next(self._tiebreak), job_id))
+
+    # -- scheduling ------------------------------------------------------
+    def pop(self) -> Optional[str]:
+        """The best pending job id, or None when idle."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    # -- introspection ---------------------------------------------------
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def depth_by_class(self) -> Dict[str, int]:
+        counts = {p: 0 for p in PRIORITY_CLASSES}
+        for rank, _, _ in self._heap:
+            counts[PRIORITY_CLASSES[rank]] += 1
+        return counts
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "depth": self.depth(),
+            "by_class": self.depth_by_class(),
+            "max_depth": self.max_depth,
+            "admitted": self.admitted,
+            "shed_full": self.shed_full,
+            "shed_rate_limited": self.shed_rate_limited,
+            "tenants": len(self._buckets),
+        }

@@ -1,0 +1,282 @@
+"""Minimal asyncio HTTP/1.1 front end for the job manager.
+
+Hand-rolled on :func:`asyncio.start_server` because the repository's
+rule is *stdlib only*: no web framework, no event-loop add-ons.  The
+protocol surface is deliberately tiny -- JSON request/response,
+``Connection: close``, no chunked encoding, bounded request size --
+because every feature a server does not have is a feature that cannot
+be exploited or crash mid-write.
+
+Routes::
+
+    GET  /healthz                  liveness + queue/cache/journal gauges
+    POST /jobs                     submit a netlist + config -> job id
+    GET  /jobs                     all jobs, submission order
+    GET  /jobs/<id>                one job's status
+    GET  /jobs/<id>/events?since=N replayable progress event stream
+    GET  /jobs/<id>/result         the (complete, cached, or partial) result
+
+Every error body is the structured :meth:`ServeError.to_dict` envelope
+with a stable code -- clients branch on ``error.code``, never on prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve import errors
+from repro.serve.errors import ServeError
+from repro.serve.jobs import JobManager
+
+#: Request bodies above this are refused before buffering completes:
+#: the largest ISCAS-89 netlist is ~1.2 MB, so 16 MiB is generous.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+#: Cap on the request head (request line + headers).
+MAX_HEAD_BYTES = 64 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+class ServeApp:
+    """Routes HTTP requests onto one :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    # -- request handling ------------------------------------------------
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._dispatch(reader)
+        except ServeError as exc:
+            status, payload = exc.http_status, exc.to_dict()
+        except Exception as exc:  # noqa: BLE001 - last-resort envelope
+            status, payload = 500, {
+                "error": {
+                    "code": "X000",
+                    "message": f"internal error: {type(exc).__name__}",
+                }
+            }
+        try:
+            writer.write(_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        method, target, headers = await self._read_head(reader)
+        body = await self._read_body(reader, headers)
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+
+        if path == "/healthz" and method == "GET":
+            return 200, self.manager.healthz()
+        if path == "/jobs":
+            if method == "POST":
+                job = self.manager.submit(self._json_body(body))
+                return 202, job.public_dict()
+            if method == "GET":
+                return 200, {"jobs": self.manager.list_jobs()}
+            raise ServeError(
+                errors.BAD_REQUEST, f"{method} not allowed here", 405
+            )
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):].split("/")
+            if method != "GET":
+                raise ServeError(
+                    errors.BAD_REQUEST, f"{method} not allowed here", 405
+                )
+            job_id = rest[0]
+            if len(rest) == 1:
+                return 200, self.manager.get(job_id).public_dict()
+            if len(rest) == 2 and rest[1] == "events":
+                since = self._int_param(query, "since", 0)
+                return 200, {
+                    "job_id": job_id,
+                    "events": self.manager.events(job_id, since=since),
+                }
+            if len(rest) == 2 and rest[1] == "result":
+                return 200, self.manager.result(job_id)
+        raise ServeError(errors.BAD_REQUEST, f"no route {target!r}", 404)
+
+    # -- parsing helpers -------------------------------------------------
+    @staticmethod
+    async def _read_head(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[str, str, Dict[str, str]]:
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            raise ServeError(
+                errors.BAD_REQUEST, "truncated request head", 400
+            ) from exc
+        except asyncio.LimitOverrunError as exc:
+            raise ServeError(
+                errors.BAD_REQUEST, "request head too large", 413
+            ) from exc
+        if len(raw) > MAX_HEAD_BYTES:
+            raise ServeError(errors.BAD_REQUEST, "request head too large", 413)
+        try:
+            head = raw.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise ServeError(
+                errors.BAD_REQUEST, "request head is not ASCII", 400
+            ) from exc
+        lines = head.split("\r\n")
+        request_line = lines[0].split(" ")
+        if len(request_line) != 3:
+            raise ServeError(errors.BAD_REQUEST, "malformed request line", 400)
+        method, target, _version = request_line
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise ServeError(errors.BAD_REQUEST, "malformed header", 400)
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    @staticmethod
+    async def _read_body(
+        reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise ServeError(
+                errors.BAD_REQUEST, "bad Content-Length", 400
+            ) from exc
+        if length < 0:
+            raise ServeError(errors.BAD_REQUEST, "bad Content-Length", 400)
+        if length > MAX_BODY_BYTES:
+            raise ServeError(
+                errors.BAD_REQUEST,
+                f"body exceeds {MAX_BODY_BYTES} bytes",
+                413,
+            )
+        if length == 0:
+            return b""
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ServeError(
+                errors.BAD_REQUEST, "truncated request body", 400
+            ) from exc
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServeError(
+                errors.BAD_REQUEST, f"body is not valid JSON: {exc}", 400
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServeError(
+                errors.BAD_REQUEST, "body must be a JSON object", 400
+            )
+        return payload
+
+    @staticmethod
+    def _int_param(query: Dict[str, Any], name: str, default: int) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[0])
+        except ValueError as exc:
+            raise ServeError(
+                errors.BAD_REQUEST, f"'{name}' must be an integer", 400
+            ) from exc
+
+
+async def serve_forever(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 1,
+    port_file: Optional[Path] = None,
+    ready: Optional[asyncio.Event] = None,
+    stop: Optional[asyncio.Event] = None,
+) -> None:
+    """Run the HTTP server and ``workers`` job loops until cancelled.
+
+    ``port=0`` binds an ephemeral port; the bound port is written to
+    ``port_file`` (atomically) so probes and tests can find it without
+    racing the log output.  SIGTERM/SIGINT cancel everything cleanly --
+    which is safe at *any* point, because every acknowledged effect is
+    already journaled.  Tests hosting the server in a side thread pass
+    their own ``stop`` event (set via ``loop.call_soon_threadsafe``)
+    since signal handlers only install on the main thread.
+    """
+    from repro.robustness.atomic import atomic_write_text
+
+    app = ServeApp(manager)
+    server = await asyncio.start_server(
+        app.handle, host=host, port=port, limit=MAX_HEAD_BYTES
+    )
+    bound_port = server.sockets[0].getsockname()[1]
+    if port_file is not None:
+        atomic_write_text(port_file, f"{bound_port}\n")
+    worker_tasks = [
+        asyncio.create_task(manager.run_worker(), name=f"worker-{i}")
+        for i in range(max(1, workers))
+    ]
+
+    stop = stop or asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass  # non-Unix loop or non-main thread: rely on cancellation
+    if ready is not None:
+        ready.set()
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        manager.stop()
+        for task in worker_tasks:
+            task.cancel()
+        await asyncio.gather(*worker_tasks, return_exceptions=True)

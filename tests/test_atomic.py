@@ -1,0 +1,89 @@
+"""Durability contract of the atomic-write helpers.
+
+``os.replace`` makes a write atomic, but only a subsequent fsync of the
+*parent directory* makes the new directory entry durable -- a crash
+between the rename and the directory flush can roll the file back to
+its previous version.  These tests pin both halves of the contract.
+"""
+
+import os
+from pathlib import Path
+
+from repro.robustness.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+)
+
+
+class TestAtomicWrite:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+        atomic_write_text(path, "replaced\n")
+        assert path.read_text() == "replaced\n"
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": 1})
+        import json
+
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_no_temp_litter(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "original")
+
+        def boom(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        try:
+            atomic_write_bytes(path, b"new")
+        except OSError:
+            pass
+        monkeypatch.undo()
+        assert path.read_text() == "original"
+        # ... and the failed attempt's temp file was cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestDirectoryFsync:
+    """The regression this file exists for: rename + parent-dir fsync."""
+
+    def test_atomic_write_fsyncs_parent_directory(self, tmp_path, monkeypatch):
+        fsynced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            try:
+                # /proc is Linux-only but so is the CI fleet; fall back
+                # to "unknown" elsewhere rather than failing the probe.
+                target = os.readlink(f"/proc/self/fd/{fd}")
+            except OSError:
+                target = "unknown"
+            fsynced.append(target)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        atomic_write_text(tmp_path / "out.txt", "data")
+        # One fsync for the file's bytes, one for the directory entry.
+        assert len(fsynced) >= 2
+        assert any(t == str(tmp_path) for t in fsynced), (
+            f"no directory fsync among {fsynced}"
+        )
+
+    def test_fsync_dir_on_directory(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+
+    def test_fsync_dir_missing_path_is_noop(self, tmp_path):
+        fsync_dir(tmp_path / "does-not-exist")  # best-effort: no raise
+
+    def test_fsync_dir_accepts_str(self, tmp_path):
+        fsync_dir(str(tmp_path))

@@ -1,0 +1,96 @@
+"""Property tests for :meth:`RecoveryPolicy.backoff_delay`.
+
+The serving layer reuses this backoff for job retries
+(:meth:`repro.serve.budgets.JobBudget.backoff_delay`), so its contract
+is now load-bearing in two places: delays must be a *pure function* of
+``(seed, dispatch, shard, attempt)`` (deterministic recovery timing),
+nonnegative, capped, and growing no faster than the jittered
+exponential envelope.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.sharding import RecoveryPolicy
+from repro.serve.budgets import JobBudget
+
+indices = st.integers(min_value=0, max_value=10_000)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+attempts = st.integers(min_value=0, max_value=20)
+
+
+class TestBackoffProperties:
+    @given(seed=seeds, dispatch=indices, shard=indices, attempt=attempts)
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic(self, seed, dispatch, shard, attempt):
+        a = RecoveryPolicy(seed=seed).backoff_delay(dispatch, shard, attempt)
+        b = RecoveryPolicy(seed=seed).backoff_delay(dispatch, shard, attempt)
+        assert a == b
+
+    @given(seed=seeds, dispatch=indices, shard=indices, attempt=attempts)
+    @settings(max_examples=200, deadline=None)
+    def test_nonnegative_and_capped(self, seed, dispatch, shard, attempt):
+        policy = RecoveryPolicy(seed=seed)
+        delay = policy.backoff_delay(dispatch, shard, attempt)
+        assert 0.0 <= delay <= policy.backoff_cap
+
+    @given(
+        seed=seeds,
+        dispatch=indices,
+        shard=indices,
+        attempt=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_exponential_envelope(self, seed, dispatch, shard, attempt):
+        """Each delay sits inside the jittered doubling envelope."""
+        policy = RecoveryPolicy(seed=seed)
+        delay = policy.backoff_delay(dispatch, shard, attempt)
+        lo = min(policy.backoff_cap, policy.backoff_base * 2.0**attempt * 0.5)
+        hi = min(policy.backoff_cap, policy.backoff_base * 2.0**attempt * 1.5)
+        assert lo <= delay <= hi
+
+    @given(dispatch=indices, shard=indices, attempt=attempts)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_base_disables_backoff(self, dispatch, shard, attempt):
+        policy = RecoveryPolicy(backoff_base=0.0)
+        assert policy.backoff_delay(dispatch, shard, attempt) == 0.0
+
+    @given(seed=seeds, dispatch=indices, shard=indices)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_attempts_jitter_independently(
+        self, seed, dispatch, shard
+    ):
+        """The jitter stream is per-(indices), not one shared sequence:
+        asking for attempt 3 gives the same answer whether or not
+        attempts 0-2 were computed first."""
+        policy = RecoveryPolicy(seed=seed)
+        direct = policy.backoff_delay(dispatch, shard, 3)
+        for attempt in range(3):
+            policy.backoff_delay(dispatch, shard, attempt)
+        assert policy.backoff_delay(dispatch, shard, 3) == direct
+
+
+class TestJobBudgetBackoff:
+    """The serve layer's view of the same contract."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        job_seq=indices,
+        attempt=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_recovery_policy(self, seed, job_seq, attempt):
+        budget = JobBudget(backoff_seed=seed, max_retries=3)
+        policy = RecoveryPolicy(max_retries=3, seed=seed)
+        assert budget.backoff_delay(job_seq, attempt) == pytest.approx(
+            policy.backoff_delay(job_seq, 0, attempt)
+        )
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            JobBudget(wall_s=0)
+        with pytest.raises(ValueError):
+            JobBudget(mem_mb=0)
+        with pytest.raises(ValueError):
+            JobBudget(max_retries=-1)

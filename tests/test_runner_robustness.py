@@ -145,3 +145,176 @@ class TestAtomicWrites:
         assert path.read_text() == "stable"
         # The failed writer cleaned up its private temp file.
         assert list(tmp_path.iterdir()) == [path]
+
+
+class TestGracefulStop:
+    """SIGTERM/SIGINT finish the in-flight section, then stop cleanly."""
+
+    def _stub(self, monkeypatch, tmp_path, signum):
+        import os
+        import signal as _signal
+
+        calls = {"first": 0, "second": 0}
+
+        def specs(full, out_dir):
+            def first():
+                calls["first"] += 1
+                # The signal lands *mid-section*: the runner must defer
+                # it, let this section finish, and commit its output.
+                os.kill(os.getpid(), signum)
+                return "first output"
+
+            return [
+                ("first", first),
+                ("second", lambda: calls.__setitem__(
+                    "second", calls["second"] + 1) or "second output"),
+            ]
+
+        monkeypatch.setattr(runner, "_section_specs", specs)
+        monkeypatch.setattr(runner, "lint_preflight", lambda names: "stub ok")
+        return calls
+
+    @pytest.mark.parametrize("signame", ["SIGTERM", "SIGINT"])
+    def test_signal_defers_then_exits_75(
+        self, monkeypatch, tmp_path, capsys, signame
+    ):
+        import signal as _signal
+
+        signum = getattr(_signal, signame)
+        calls = self._stub(monkeypatch, tmp_path, signum)
+        rc = runner.main(["--out", str(tmp_path)])
+        assert rc == runner.EXIT_INTERRUPTED == 75
+        # The in-flight section completed; the next never started.
+        assert calls == {"first": 1, "second": 0}
+        assert "first output" in (tmp_path / "first.txt").read_text()
+        assert not (tmp_path / "second.txt").exists()
+        # The manifest is consistent and the combined output was written.
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["sections"]["first"]["status"] == "ok"
+        assert "second" not in manifest["sections"]
+        assert (tmp_path / "all_experiments.txt").exists()
+        err = capsys.readouterr().err
+        assert signame in err and "--resume" in err
+
+    def test_resume_finishes_an_interrupted_batch(self, monkeypatch, tmp_path):
+        import signal as _signal
+
+        calls = self._stub(monkeypatch, tmp_path, _signal.SIGTERM)
+        assert runner.main(["--out", str(tmp_path)]) == 75
+        # Second run: no signal this time (the stub fires every run, so
+        # swap in a quiet spec keeping the same section names).
+        def quiet_specs(full, out_dir):
+            return [
+                ("first", lambda: calls.__setitem__(
+                    "first", calls["first"] + 1) or "first output"),
+                ("second", lambda: calls.__setitem__(
+                    "second", calls["second"] + 1) or "second output"),
+            ]
+
+        monkeypatch.setattr(runner, "_section_specs", quiet_specs)
+        assert runner.main(["--out", str(tmp_path), "--resume"]) == 0
+        # "first" was resumed from disk, only "second" actually ran.
+        assert calls == {"first": 1, "second": 1}
+
+    def test_interrupt_wins_over_failure_exit(self, monkeypatch, tmp_path):
+        import os
+        import signal as _signal
+
+        def specs(full, out_dir):
+            def failing():
+                os.kill(os.getpid(), _signal.SIGTERM)
+                raise ValueError("boom")
+
+            return [("bad", failing), ("tail", lambda: "tail output")]
+
+        monkeypatch.setattr(runner, "_section_specs", specs)
+        monkeypatch.setattr(runner, "lint_preflight", lambda names: "stub ok")
+        # Both things happened -- a failure and an interrupt -- and the
+        # interrupt's exit code wins (75, not 1): nothing is corrupt.
+        assert runner.main(["--out", str(tmp_path)]) == 75
+        failures = json.loads((tmp_path / "failures.json").read_text())
+        assert [f["section"] for f in failures] == ["bad"]
+
+
+class TestSections:
+    def test_unknown_section_exits_2(self, fake_batch, tmp_path, capsys):
+        rc = runner.main(
+            ["--out", str(tmp_path), "--sections", "good,nope"]
+        )
+        assert rc == 2
+        assert "nope" in capsys.readouterr().err
+        assert fake_batch == {"good": 0, "boom": 0, "tail": 0}
+
+    def test_section_filter_runs_only_named(self, fake_batch, tmp_path):
+        assert runner.main(
+            ["--out", str(tmp_path), "--sections", "good"]
+        ) == 0
+        assert fake_batch == {"good": 1, "boom": 0, "tail": 0}
+
+
+@pytest.mark.chaos
+class TestChildProcessKill:
+    """The real thing: SIGTERM a runner *process* mid-section."""
+
+    def test_sigterm_child_mid_section(self, tmp_path):
+        import os
+        import signal as _signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        marker = tmp_path / "section-started"
+        out_dir = tmp_path / "results"
+        driver = tmp_path / "driver.py"
+        driver.write_text(
+            "import sys, time\n"
+            "from pathlib import Path\n"
+            "from repro.experiments import runner\n"
+            "marker = Path(sys.argv[1])\n"
+            "def specs(full, out_dir):\n"
+            "    def slow():\n"
+            "        marker.touch()\n"
+            "        for _ in range(20):\n"
+            "            time.sleep(0.1)\n"
+            "        return 'slow output'\n"
+            "    return [('slow', slow), ('tail', lambda: 'tail output')]\n"
+            "runner._section_specs = specs\n"
+            "runner.lint_preflight = lambda names: 'stub'\n"
+            "sys.exit(runner.main(['--out', sys.argv[2]]))\n"
+        )
+        env = dict(os.environ)
+        src = Path(runner.__file__).resolve().parents[2]
+        env["PYTHONPATH"] = str(src)
+        proc = subprocess.Popen(
+            [sys.executable, str(driver), str(marker), str(out_dir)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not marker.exists():
+                assert time.monotonic() < deadline, "section never started"
+                assert proc.poll() is None, "runner died before the signal"
+                time.sleep(0.02)
+            proc.send_signal(_signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == runner.EXIT_INTERRUPTED == 75, (
+            stderr.decode()
+        )
+        # The in-flight section ran to completion and was committed...
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["sections"]["slow"]["status"] == "ok"
+        assert "slow output" in (out_dir / "slow.txt").read_text()
+        # ... the next section never started, and the batch-level
+        # outputs were still written atomically.
+        assert "tail" not in manifest["sections"]
+        assert not (out_dir / "tail.txt").exists()
+        assert (out_dir / "all_experiments.txt").exists()
+        assert json.loads((out_dir / "failures.json").read_text()) == []
+        assert b"--resume" in stderr

@@ -1,0 +1,256 @@
+"""The HTTP surface, end to end: a real server on a real socket.
+
+The server runs in a side thread with its own event loop and an
+injected stop event (signal handlers only install on the main
+thread).  Readiness comes from the atomically written port file, the
+same mechanism ``repro serve --healthz`` and the smoke gate use.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.bench_circuits import load_circuit
+from repro.circuit.bench_parser import write_bench
+from repro.serve.budgets import JobBudget
+from repro.serve.client import ServeClient
+from repro.serve.errors import ServeError
+from repro.serve.jobs import JobManager
+from repro.serve.queue import MultiTenantQueue
+from repro.serve.server import serve_forever
+
+pytestmark = pytest.mark.serve
+
+QUICK = {"n": 8, "max_iterations": 6}
+
+
+class ServerThread:
+    """Hosts serve_forever in a daemon thread; stops it threadsafe."""
+
+    def __init__(self, manager):
+        self.manager = manager
+        self.loop = None
+        self.stop_event = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.error = None
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.stop_event = asyncio.Event()
+        try:
+            self.loop.run_until_complete(
+                serve_forever(
+                    self.manager,
+                    port=0,
+                    workers=1,
+                    port_file=self.manager.data_dir / "serve.port",
+                    stop=self.stop_event,
+                )
+            )
+        except Exception as exc:  # pragma: no cover - surfaced in stop()
+            self.error = exc
+        finally:
+            self.loop.close()
+
+    def start(self, timeout_s=10.0):
+        self.thread.start()
+        port_file = self.manager.data_dir / "serve.port"
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if port_file.exists():
+                return int(port_file.read_text().strip())
+            if not self.thread.is_alive():
+                raise RuntimeError(f"server died during startup: {self.error}")
+            time.sleep(0.02)
+        raise TimeoutError("server did not write its port file")
+
+    def stop(self):
+        if self.loop is not None and self.stop_event is not None:
+            self.loop.call_soon_threadsafe(self.stop_event.set)
+        self.thread.join(timeout=10.0)
+        if self.error is not None:
+            raise self.error
+
+
+@pytest.fixture(scope="module")
+def s27_bench():
+    return write_bench(load_circuit("s27"))
+
+
+@pytest.fixture()
+def served(tmp_path):
+    manager = JobManager(
+        tmp_path / "serve",
+        queue=MultiTenantQueue(burst=1000),
+        budget=JobBudget(wall_s=60, mem_mb=None),
+    )
+    server = ServerThread(manager)
+    port = server.start()
+    client = ServeClient(port=port, timeout_s=30.0)
+    yield client, manager
+    server.stop()
+
+
+def _raw_request(client, payload: bytes) -> dict:
+    """Speak raw HTTP for the malformed-input cases."""
+    conn = http.client.HTTPConnection(
+        client.host, client.port, timeout=10.0
+    )
+    try:
+        conn.request(
+            "POST", "/jobs", body=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        body = json.loads(response.read().decode("utf-8"))
+        return {"status": response.status, "body": body}
+    finally:
+        conn.close()
+
+
+class TestHappyPath:
+    def test_healthz(self, served):
+        client, _ = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["queue"]["depth"] == 0
+
+    def test_submit_wait_result(self, served, s27_bench):
+        client, manager = served
+        job = client.submit(s27_bench, name="s27", config=QUICK)
+        assert job["job_id"].startswith("j")
+        final = client.wait(job["job_id"], timeout_s=60.0)
+        assert final["state"] == "done"
+        result = client.result(job["job_id"])
+        assert result["result"]["complete"] is True
+        assert manager.jobs_simulated == 1
+
+    def test_cached_resubmission_over_http(self, served, s27_bench):
+        client, manager = served
+        first = client.submit(s27_bench, name="s27", config=QUICK)
+        client.wait(first["job_id"], timeout_s=60.0)
+        again = client.submit(s27_bench, name="s27", config=QUICK)
+        assert again["state"] == "done"
+        assert again["cached"] is True
+        assert manager.jobs_simulated == 1
+        a = client.result(first["job_id"])["result"]
+        b = client.result(again["job_id"])["result"]
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_events_stream_with_since(self, served, s27_bench):
+        client, _ = served
+        job = client.submit(s27_bench, name="s27", config=QUICK)
+        client.wait(job["job_id"], timeout_s=60.0)
+        events = client.events(job["job_id"])
+        assert events[0]["kind"] == "submitted"
+        assert events[-1]["kind"] == "finished"
+        tail = client.events(job["job_id"], since=events[2]["seq"])
+        assert tail == events[2:]
+
+    def test_jobs_listing(self, served, s27_bench):
+        client, _ = served
+        client.submit(s27_bench, name="s27", config=QUICK)
+        listed = client.jobs()
+        assert len(listed) == 1
+        assert listed[0]["circuit"] == "s27"
+
+
+class TestErrorSurface:
+    def test_unknown_job_404(self, served):
+        client, _ = served
+        with pytest.raises(ServeError) as exc:
+            client.status("j999999-nope")
+        assert exc.value.code == "J001"
+        assert exc.value.http_status == 404
+
+    def test_result_before_done_409(self, served, s27_bench):
+        client, _ = served
+        # Slow config so the result endpoint races ahead of the worker.
+        job = client.submit(
+            s27_bench, name="s27",
+            config={"n": 1, "la": 2, "lb": 4, "max_iterations": 8},
+        )
+        try:
+            client.result(job["job_id"])
+        except ServeError as exc:
+            assert exc.code == "J002"
+            assert exc.http_status == 409
+        # (If the worker won the race the result is simply served; both
+        # outcomes are correct, the refusal path is what's under test.)
+        client.wait(job["job_id"], timeout_s=60.0)
+
+    def test_parse_error_422_with_envelope(self, served):
+        client, _ = served
+        with pytest.raises(ServeError) as exc:
+            client.submit("INPUT(a)\nb = FROB(a)\n")
+        assert exc.value.code.startswith("E")
+        assert exc.value.http_status == 422
+        assert exc.value.detail["issues"]
+
+    def test_no_route_404(self, served):
+        client, _ = served
+        with pytest.raises(ServeError) as exc:
+            client._request("GET", "/nope")
+        assert exc.value.http_status == 404
+
+    def test_method_not_allowed_405(self, served):
+        client, _ = served
+        with pytest.raises(ServeError) as exc:
+            client._request("DELETE", "/jobs")
+        assert exc.value.http_status == 405
+
+    def test_bad_json_400(self, served):
+        client, _ = served
+        reply = _raw_request(client, b"{not json")
+        assert reply["status"] == 400
+        assert reply["body"]["error"]["code"] == "C001"
+
+    def test_non_object_body_400(self, served):
+        client, _ = served
+        reply = _raw_request(client, b"[1, 2, 3]")
+        assert reply["status"] == 400
+        assert "object" in reply["body"]["error"]["message"]
+
+    def test_oversized_body_413(self, served):
+        client, _ = served
+        conn = http.client.HTTPConnection(
+            client.host, client.port, timeout=10.0
+        )
+        try:
+            # Lie about the length: the server must refuse on the header
+            # alone, before any buffering.
+            conn.request(
+                "POST", "/jobs", body=b"",
+                headers={"Content-Length": str(64 * 1024 * 1024)},
+            )
+            response = conn.getresponse()
+            assert response.status == 413
+        finally:
+            conn.close()
+
+    def test_rate_limited_429_with_retry_after(self, tmp_path, s27_bench):
+        manager = JobManager(
+            tmp_path / "serve",
+            queue=MultiTenantQueue(rate_per_s=0.001, burst=1.0),
+            budget=JobBudget(wall_s=60, mem_mb=None),
+        )
+        server = ServerThread(manager)
+        port = server.start()
+        try:
+            client = ServeClient(port=port, timeout_s=30.0)
+            client.submit(s27_bench, name="s27", config=QUICK)
+            with pytest.raises(ServeError) as exc:
+                client.submit(
+                    s27_bench, name="s27",
+                    config=dict(QUICK, base_seed=5),
+                )
+            assert exc.value.code == "Q002"
+            assert exc.value.http_status == 429
+            assert exc.value.detail["retry_after_s"] > 0
+        finally:
+            server.stop()

@@ -1,0 +1,152 @@
+"""The job journal's durability contract: replay, torn tails, healing."""
+
+import json
+
+import pytest
+
+from repro.robustness.chaos import truncate_tail
+from repro.serve.journal import JOB_JOURNAL_VERSION, JobJournal, JobJournalError
+from repro.serve.models import DONE, QUEUED, RUNNING, JobRecord
+
+pytestmark = pytest.mark.serve
+
+
+def make_job(seq=1, **overrides):
+    fields = dict(
+        job_id=f"j{seq:06d}-abcdef",
+        seq=seq,
+        tenant="t",
+        priority="standard",
+        targets="collapsed",
+        config={"n": 8},
+        circuit_name="s27",
+        circuit_fingerprint="f" * 64,
+        submission_key="k" * 64,
+        bench_path=f"jobs/{seq:06d}/circuit.bench",
+    )
+    fields.update(overrides)
+    return JobRecord(**fields)
+
+
+class TestBasics:
+    def test_fresh_journal_has_header(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        first = json.loads(
+            (tmp_path / "jobs.jsonl").read_text().splitlines()[0]
+        )
+        assert first["kind"] == "header"
+        assert first["version"] == JOB_JOURNAL_VERSION
+        assert journal.records == 1
+        assert journal.jobs == {}
+
+    def test_submit_then_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        job = make_job()
+        journal.record_submit(job)
+
+        replayed = JobJournal(path)
+        assert set(replayed.jobs) == {job.job_id}
+        assert replayed.jobs[job.job_id].to_dict() == job.to_dict()
+        assert replayed.next_seq() == 2
+
+    def test_state_transitions_fold(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        job = make_job()
+        journal.record_submit(job)
+        job.state = RUNNING
+        journal.record_state(job)
+        job.state = DONE
+        job.result_key = "k" * 64
+        job.finished_at = 123.0
+        journal.record_state(job)
+
+        replayed = JobJournal(path).jobs[job.job_id]
+        assert replayed.state == DONE
+        assert replayed.result_key == "k" * 64
+        assert replayed.finished_at == 123.0
+
+    def test_submission_order_preserved(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        for seq in (1, 2, 3):
+            journal.record_submit(make_job(seq))
+        assert [j.seq for j in JobJournal(path).in_order()] == [1, 2, 3]
+
+    def test_not_a_journal(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(JobJournalError):
+            JobJournal(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": 999}) + "\n")
+        with pytest.raises(JobJournalError):
+            JobJournal(path)
+
+
+class TestTornTail:
+    def _journal_with_two_jobs(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        journal.record_submit(make_job(1))
+        journal.record_submit(make_job(2))
+        return path
+
+    @pytest.mark.parametrize("torn", [1, 7, 40])
+    def test_torn_submit_is_dropped_and_healed(self, tmp_path, torn):
+        path = self._journal_with_two_jobs(tmp_path)
+        intact = path.stat().st_size
+        truncate_tail(path, torn)
+
+        replayed = JobJournal(path)
+        assert [j.seq for j in replayed.in_order()] == [1]
+        assert replayed.healed_bytes > 0
+        # Healing truncated back to the last committed boundary ...
+        healed_size = path.stat().st_size
+        assert healed_size < intact - torn + 1
+        # ... so a new append produces a parseable journal again.
+        replayed.record_submit(make_job(3))
+        final = JobJournal(path)
+        assert [j.seq for j in final.in_order()] == [1, 3]
+        assert final.healed_bytes == 0
+
+    def test_torn_state_keeps_submit(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        job = make_job()
+        journal.record_submit(job)
+        job.state = RUNNING
+        journal.record_state(job)
+        truncate_tail(path, 5)  # tear the state record
+
+        replayed = JobJournal(path).jobs[job.job_id]
+        assert replayed.state == QUEUED  # the torn transition never happened
+
+    def test_garbage_tail_is_healed(self, tmp_path):
+        path = self._journal_with_two_jobs(tmp_path)
+        with open(path, "ab") as fh:
+            fh.write(b'{"kind": "submit", "job": {tor')  # no newline
+        replayed = JobJournal(path)
+        assert [j.seq for j in replayed.in_order()] == [1, 2]
+        assert replayed.healed_bytes > 0
+
+    def test_empty_tail_truncation(self, tmp_path):
+        path = self._journal_with_two_jobs(tmp_path)
+        size = path.stat().st_size
+        truncate_tail(path, size)  # everything gone, header included
+        with pytest.raises(JobJournalError):
+            JobJournal(path)
+
+
+class TestStats:
+    def test_stats_shape(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        journal.record_submit(make_job())
+        stats = journal.stats()
+        assert stats["records"] == 2
+        assert stats["bytes"] > 0
+        assert stats["healed_bytes"] == 0
+        assert stats["lag_records"] == 0
